@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Every table/figure of the paper has a bench here.  By default the grids
+are trimmed so the whole suite runs in a few minutes; set ``REPRO_FULL=1``
+to run the paper's complete parameter grids (matching EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_run() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def is_full_run() -> bool:
+    return full_run()

@@ -1,0 +1,43 @@
+"""Baseline shoot-out — quantifies the introduction's motivation.
+
+The paper argues that deployed policies (round-robin spreading,
+proximity-only mirror selection, congestion-only diffusive balancing)
+each ignore half the latency; this bench measures how much the
+delay-aware optimum buys over every one of them, on both network kinds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.baselines import all_baselines
+from repro.experiments.common import Setting, make_instance
+
+
+@pytest.mark.parametrize("network", ["homogeneous", "planetlab"])
+def test_delay_aware_vs_baselines(benchmark, network):
+    if network == "homogeneous":
+        inst = make_instance(Setting(40, "exponential", 50, "homogeneous"))
+    else:
+        inst = make_instance(Setting(40, "exponential", 50, "planetlab"))
+
+    def solve_and_compare():
+        opt = repro.solve_coordinate_descent(inst)
+        rows = {"delay-aware": opt.total_cost()}
+        for name, st in all_baselines(inst).items():
+            rows[name] = st.total_cost()
+        return rows
+
+    rows = benchmark.pedantic(solve_and_compare, rounds=1, iterations=1)
+    opt_cost = rows["delay-aware"]
+    print(f"\nΣCi on {network} (m=40, exponential lav=50):")
+    for name, cost in sorted(rows.items(), key=lambda kv: kv[1]):
+        print(f"  {name:<20} {cost:12.1f}  ({cost / opt_cost:5.2f}x)")
+    # the delay-aware optimum dominates every baseline
+    for name, cost in rows.items():
+        assert opt_cost <= cost + 1e-6, name
+    # and the round-robin strawman pays for its blindness on the
+    # heterogeneous network (needless WAN hops for every request)
+    if network == "planetlab":
+        assert rows["round-robin"] > 1.2 * opt_cost

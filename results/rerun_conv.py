@@ -1,0 +1,13 @@
+import json, time
+from repro.experiments.convergence import convergence_table, figure2_traces
+d = json.load(open('/root/repo/results/experiments.json'))
+t0 = time.time()
+SIZES = (20, 30, 50, 100); AVGS = (10, 50, 1000)
+for name, tol in (("table1", 0.02), ("table2", 0.001)):
+    cells = convergence_table(tol, sizes=SIZES, avg_loads=AVGS)
+    d[name] = [vars(c) for c in cells]
+    print(name, 'done at', time.time()-t0, flush=True)
+traces = figure2_traces(sizes=(500, 1000, 2000), iterations=20)
+d['figure2'] = {str(k): v for k, v in traces.items()}
+json.dump(d, open('/root/repo/results/experiments.json', 'w'), indent=1)
+print('written', time.time()-t0)

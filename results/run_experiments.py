@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Generate the EXPERIMENTS.md measurement data (all tables + Figure 2)."""
+import json, sys, time
+
+from repro.experiments.convergence import convergence_table, figure2_traces
+from repro.experiments.selfishness import selfishness_table
+from repro.experiments.rtt_validation import rtt_table
+
+out = {}
+t0 = time.time()
+
+print("Table I/II grids...", flush=True)
+SIZES = (20, 30, 50, 100)
+AVGS = (10, 50, 1000)
+for name, tol in (("table1", 0.02), ("table2", 0.001)):
+    cells = convergence_table(tol, sizes=SIZES, avg_loads=AVGS, progress=True)
+    out[name] = [vars(c) for c in cells]
+    print(f"{name} done at {time.time()-t0:.0f}s", flush=True)
+
+print("Table III...", flush=True)
+cells = selfishness_table(sizes=(20, 30, 50), avg_loads=(10, 20, 50, 200, 1000), progress=True)
+out["table3"] = [vars(c) for c in cells]
+print(f"table3 done at {time.time()-t0:.0f}s", flush=True)
+
+print("Table IV...", flush=True)
+rows = rtt_table(servers=60, samples=300, seed=0)
+out["table4"] = [{"tb": r.label, "mu": r.mu, "sigma": r.sigma} for r in rows]
+
+print("Figure 2...", flush=True)
+traces = figure2_traces(sizes=(500, 1000, 2000), iterations=20)
+out["figure2"] = {str(k): v for k, v in traces.items()}
+print(f"all done at {time.time()-t0:.0f}s", flush=True)
+
+with open("/root/repo/results/experiments.json", "w") as f:
+    json.dump(out, f, indent=1)
+print("written /root/repo/results/experiments.json")

@@ -1,0 +1,63 @@
+"""repro — network delay-aware load balancing in selfish and cooperative
+distributed systems.
+
+A complete reproduction of Skowron & Rzadca (IPDPS 2013): the model of
+request-processing systems whose observed latency is the sum of network
+delay and server congestion, the polynomial cooperative optimum, the
+distributed Min-Error balancing algorithm with its error certificate, the
+game-theoretic analysis of selfish organizations (price of anarchy), and
+the supporting substrates (synthetic PlanetLab-like topologies, gossip
+dissemination, min-cost-flow negative-cycle removal, a discrete-event
+request simulator and the Section VII extensions).
+
+Quickstart
+----------
+>>> import numpy as np, repro
+>>> rng = np.random.default_rng(0)
+>>> inst = repro.Instance(
+...     speeds=rng.uniform(1, 5, 20),
+...     loads=rng.exponential(50, 20),
+...     latency=repro.planetlab_like_latency(20, rng=rng),
+... )
+>>> opt = repro.solve_optimal(inst)                    # cooperative optimum
+>>> state = repro.AllocationState.initial(inst)
+>>> trace = repro.MinEOptimizer(state, rng=0).run(     # distributed MinE
+...     optimum=opt.total_cost(), rel_tol=0.02)
+>>> ratio, ne, _ = repro.price_of_anarchy(inst, rng=0, optimum=opt)
+"""
+
+from .core import *  # noqa: F401,F403 - curated in core.__all__
+from .core import __all__ as _core_all
+from .flow import (
+    min_cost_flow,
+    remove_negative_cycles,
+    solve_transportation,
+)
+from .gossip import GossipNetwork
+from .net import (
+    BackgroundLoadExperiment,
+    VivaldiEstimator,
+    complete_latency_matrix,
+    homogeneous_latency,
+    planetlab_like_latency,
+    random_speeds,
+)
+from .sim import simulate_snapshot, simulate_stream
+
+__version__ = "1.0.0"
+
+__all__ = list(_core_all) + [
+    "min_cost_flow",
+    "solve_transportation",
+    "remove_negative_cycles",
+    "GossipNetwork",
+    "homogeneous_latency",
+    "planetlab_like_latency",
+    "random_speeds",
+    "complete_latency_matrix",
+    "BackgroundLoadExperiment",
+    "VivaldiEstimator",
+    "simulate_snapshot",
+    "simulate_stream",
+    "__version__",
+]

@@ -1,0 +1,120 @@
+"""Baseline allocation policies the paper argues against.
+
+The introduction motivates delay-aware balancing by contrasting it with
+what deployed systems did: round-robin request spreading (used by CDN
+front-ends, "inefficient as, for instance, unpopular files are cached in
+multiple places"), purely proximity-based mirror selection ([13], [28]:
+"the impact of servers' congestion is not taken into consideration") and
+pure load balancing that ignores the network ([1], [2], [6]: "these
+solutions disregard the geographic distribution of the servers").
+
+This module implements those strawmen as honest, well-tuned baselines so
+the benchmarks can quantify exactly how much the paper's contribution
+buys over each:
+
+* :func:`round_robin` — every organization spreads its requests equally
+  over all servers;
+* :func:`nearest_server` — latency-greedy: everything goes to the closest
+  (by ``c_ij``) server, congestion ignored;
+* :func:`proportional_speed` — congestion-only: loads proportional to
+  server speeds (perfect ``l_j/s_j`` equalization), latency ignored;
+* :func:`makespan_greedy` — the divisible-load-theory flavour: minimize
+  the *makespan* ``max_j (l_j/s_j + max-latency-paid)`` greedily rather
+  than the average completion time (the ``Cmax`` side of the paper's
+  ``Cmax`` versus ``ΣCi`` discussion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .instance import Instance
+from .state import AllocationState
+from .waterfill import waterfill
+
+__all__ = [
+    "round_robin",
+    "nearest_server",
+    "proportional_speed",
+    "makespan_greedy",
+    "makespan",
+    "all_baselines",
+]
+
+
+def round_robin(inst: Instance) -> AllocationState:
+    """Spread every organization's requests equally over all servers."""
+    rho = np.full((inst.m, inst.m), 1.0 / inst.m)
+    return AllocationState.from_fractions(inst, rho)
+
+
+def nearest_server(inst: Instance) -> AllocationState:
+    """Send everything to the lowest-latency server (self, since
+    ``c_ii = 0`` — ties broken toward self), ignoring congestion."""
+    m = inst.m
+    rho = np.zeros((m, m))
+    for i in range(m):
+        j = int(np.argmin(inst.latency[i]))
+        rho[i, j] = 1.0
+    return AllocationState.from_fractions(inst, rho)
+
+
+def proportional_speed(inst: Instance) -> AllocationState:
+    """Equalize weighted loads ``l_j / s_j`` exactly, ignoring latency.
+
+    Every organization splits its requests proportionally to server
+    speeds — the fixed point of classic diffusive load balancing on a
+    complete graph.
+    """
+    share = inst.speeds / inst.speeds.sum()
+    rho = np.tile(share, (inst.m, 1))
+    return AllocationState.from_fractions(inst, rho)
+
+
+def makespan(inst: Instance, state: AllocationState) -> float:
+    """The ``Cmax`` objective: the last moment any server is busy, taking
+    the latest arrival it must wait for into account:
+    ``max_j (max_i {c_ij : r_ij > 0} + l_j / s_j)``."""
+    worst = 0.0
+    for j in range(inst.m):
+        col = state.R[:, j]
+        if col.sum() <= 0:
+            continue
+        arrive = float(inst.latency[col > 1e-12, j].max())
+        worst = max(worst, arrive + float(state.loads[j] / inst.speeds[j]))
+    return worst
+
+
+def makespan_greedy(inst: Instance, *, granularity: int = 200) -> AllocationState:
+    """Greedy list-scheduling heuristic for the makespan objective.
+
+    Each organization's load is cut into ``granularity`` equal slices;
+    slices are assigned (largest-owners first) to the server minimizing
+    the resulting ``c_ij + l_j/s_j`` finish estimate.  This is the natural
+    ``Cmax`` adaptation the paper contrasts with its ``ΣCi`` objective.
+    """
+    m = inst.m
+    R = np.zeros((m, m))
+    loads = np.zeros(m)
+    order = np.argsort(inst.loads)[::-1]
+    for i in order:
+        n_i = inst.loads[i]
+        if n_i <= 0:
+            continue
+        slice_size = n_i / granularity
+        for _ in range(granularity):
+            finish = inst.latency[i] + (loads + slice_size) / inst.speeds
+            j = int(np.argmin(finish))
+            R[i, j] += slice_size
+            loads[j] += slice_size
+    return AllocationState(inst, R, validate=False)
+
+
+def all_baselines(inst: Instance) -> dict[str, AllocationState]:
+    """Every baseline, keyed by a printable name."""
+    return {
+        "round-robin": round_robin(inst),
+        "nearest-server": nearest_server(inst),
+        "proportional-speed": proportional_speed(inst),
+        "makespan-greedy": makespan_greedy(inst),
+    }

@@ -1,0 +1,123 @@
+"""Cost functions and the explicit quadratic-program form of Section III.
+
+Notation (paper Section II): ``R[i, j] = r_ij`` is the number of requests
+owned by organization ``i`` and executed on server ``j``; the load of server
+``j`` is ``l_j = Σ_i r_ij``.  The expected total completion time of the
+requests relayed by ``i`` to ``j`` is ``r_ij (l_j / (2 s_j) + c_ij)``, hence
+
+    Ci   = Σ_j r_ij (l_j / (2 s_j) + c_ij)               (eq. 1)
+    ΣCi  = Σ_j l_j² / (2 s_j) + Σ_{i,j} c_ij r_ij
+
+Section III rewrites ``ΣCi`` as ``ρᵀ Q ρ + bᵀ ρ`` over the flattened vector
+of relay *fractions* ``ρ_ij = r_ij / n_i``; :func:`build_qp` constructs the
+matrices ``Q`` (eq. 2), ``b`` and the row-stochasticity constraint ``A``
+(eq. 6) exactly as printed, which the tests use to cross-validate the fast
+vectorized objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .instance import Instance
+
+__all__ = [
+    "server_loads",
+    "total_cost",
+    "per_org_cost",
+    "cost_gradient",
+    "selfish_marginal",
+    "build_qp",
+    "qp_objective",
+]
+
+
+def server_loads(R: np.ndarray) -> np.ndarray:
+    """Load vector ``l_j = Σ_i r_ij`` of an allocation matrix."""
+    return np.asarray(R, dtype=np.float64).sum(axis=0)
+
+
+def _comm_cost_matrix(latency: np.ndarray, R: np.ndarray) -> np.ndarray:
+    """Per-entry communication cost ``c_ij r_ij`` with the convention
+    ``inf · 0 = 0`` (forbidden links carrying no load cost nothing)."""
+    if not np.isinf(latency).any():
+        return latency * R
+    out = np.where(np.isfinite(latency), latency, 0.0) * R
+    out[(R > 1e-12) & np.isinf(latency)] = np.inf
+    return out
+
+
+def total_cost(inst: Instance, R: np.ndarray, loads: np.ndarray | None = None) -> float:
+    """System objective ``ΣCi = Σ_j l_j²/(2 s_j) + Σ_{ij} c_ij r_ij``."""
+    R = np.asarray(R, dtype=np.float64)
+    l = server_loads(R) if loads is None else np.asarray(loads, dtype=np.float64)
+    congestion = float((l * l / (2.0 * inst.speeds)).sum())
+    comm = float(_comm_cost_matrix(inst.latency, R).sum())
+    return congestion + comm
+
+
+def per_org_cost(
+    inst: Instance, R: np.ndarray, loads: np.ndarray | None = None
+) -> np.ndarray:
+    """Vector of per-organization costs ``Ci`` (eq. 1)."""
+    R = np.asarray(R, dtype=np.float64)
+    l = server_loads(R) if loads is None else np.asarray(loads, dtype=np.float64)
+    handling = l / (2.0 * inst.speeds)  # expected per-request handling time
+    return (R * handling[None, :]).sum(axis=1) + _comm_cost_matrix(
+        inst.latency, R
+    ).sum(axis=1)
+
+
+def cost_gradient(inst: Instance, R: np.ndarray) -> np.ndarray:
+    """Gradient of ``ΣCi`` with respect to ``R``:
+    ``∂ΣCi/∂r_ij = l_j / s_j + c_ij`` (identical for every row ``i`` up to
+    the latency term)."""
+    l = server_loads(R)
+    return (l / inst.speeds)[None, :] + inst.latency
+
+
+def selfish_marginal(inst: Instance, R: np.ndarray, i: int) -> np.ndarray:
+    """Marginal cost organization ``i`` sees when adding load to each server:
+    ``∂Ci/∂r_ij = l_j/(2 s_j) + r_ij/(2 s_j) + c_ij``."""
+    l = server_loads(R)
+    return (l + R[i]) / (2.0 * inst.speeds) + inst.latency[i]
+
+
+# ----------------------------------------------------------------------
+# Explicit QP form of Section III (used for cross-validation and the
+# scipy-based exact solver on small instances).
+# ----------------------------------------------------------------------
+def build_qp(inst: Instance) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Build ``(Q, b, A)`` with ``ΣCi(ρ) = ρᵀQρ + bᵀρ`` and ``Aρ = 1``.
+
+    ``ρ`` is the length-``m²`` vector of relay fractions in row-major order
+    (``ρ[i*m + j] = ρ_ij``).  Per eq. (2) of the paper::
+
+        q_{(i,j),(k,l)} = n_i n_k / s_j      if j == l and i <  k
+                        = n_i n_k / (2 s_j)  if j == l and i == k
+                        = 0                  otherwise
+
+    and ``b_{(i,j)} = c_ij n_i``.  ``A`` (eq. 6) encodes ``Σ_j ρ_ij = 1``.
+    """
+    m = inst.m
+    n = inst.loads
+    s = inst.speeds
+    Q = np.zeros((m * m, m * m))
+    for j in range(m):
+        # Entries with the same destination column j interact.
+        for i in range(m):
+            row = i * m + j
+            Q[row, row] = n[i] * n[i] / (2.0 * s[j])
+            for k in range(i + 1, m):
+                Q[row, k * m + j] = n[i] * n[k] / s[j]
+    b = (inst.latency * n[:, None]).reshape(-1)
+    A = np.zeros((m, m * m))
+    for i in range(m):
+        A[i, i * m : (i + 1) * m] = 1.0
+    return Q, b, A
+
+
+def qp_objective(Q: np.ndarray, b: np.ndarray, rho: np.ndarray) -> float:
+    """Evaluate ``ρᵀQρ + bᵀρ`` for a flattened fraction vector."""
+    rho = np.asarray(rho, dtype=np.float64)
+    return float(rho @ Q @ rho + b @ rho)

@@ -1,0 +1,442 @@
+"""The distributed Min-Error (MinE) algorithm — Algorithm 2 of the paper.
+
+Each server ``id`` repeatedly (i) evaluates the exact improvement of
+``ΣCi`` achievable by a pairwise exchange (Algorithm 1) with every candidate
+partner ``j``, (ii) picks ``partner = argmax_j impr(id, j)`` and (iii)
+executes the exchange.  One *iteration* (a :meth:`MinEOptimizer.sweep`)
+lets every server act once, in random order, matching Section VI-B.
+
+Partner evaluation is the hot loop.  Three strategies are provided:
+
+``exact``
+    The faithful ``argmax_j impr(id, j)``, evaluated for *all* partners at
+    once with a fully vectorized batch version of the Algorithm 1 closed
+    form (rows restricted to organizations that own load).  ``O(h·m log m)``
+    per server where ``h`` is the number of load-owning organizations.
+
+``screened``
+    A cheap ``O(m)`` load-imbalance score pre-selects ``screen_width``
+    candidates; the exact improvement is evaluated only on those.  This is
+    a deviation from the paper ablated in ``benchmarks/``; with the default
+    width it selects the same partners as ``exact`` in virtually every step.
+
+``auto`` (default)
+    ``exact`` when the owner count times ``m`` is small enough, otherwise
+    ``screened``.
+
+The optimizer can also run against *stale* load views produced by the
+gossip layer (:mod:`repro.gossip`) and can periodically remove negative
+cycles with the min-cost-flow reduction of the appendix
+(:mod:`repro.flow`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Literal
+
+import numpy as np
+
+from .instance import Instance
+from .state import AllocationState
+from .transfer import PairExchange, calc_best_transfer
+
+__all__ = [
+    "MinEOptimizer",
+    "SweepStats",
+    "ConvergenceTrace",
+    "batch_exchange_stats",
+    "best_partner_exact",
+]
+
+
+@dataclass
+class SweepStats:
+    """Diagnostics for one full iteration of the distributed algorithm."""
+
+    iteration: int
+    cost_before: float
+    cost_after: float
+    total_moved: float
+    exchanges: int
+
+    @property
+    def improvement(self) -> float:
+        return self.cost_before - self.cost_after
+
+
+@dataclass
+class ConvergenceTrace:
+    """Cost trajectory of a full optimization run."""
+
+    costs: list[float] = field(default_factory=list)
+    sweeps: list[SweepStats] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def iterations(self) -> int:
+        return len(self.sweeps)
+
+    def relative_errors(self, optimum: float) -> np.ndarray:
+        """Per-iteration relative error ``(ΣCi − ΣCi*) / ΣCi*``."""
+        c = np.asarray(self.costs, dtype=np.float64)
+        if optimum <= 0:
+            return np.zeros_like(c)
+        return (c - optimum) / optimum
+
+
+def _safe_dot_scalar(x: np.ndarray, cost: np.ndarray) -> float:
+    """``Σ x_k c_k`` with the convention ``0 · inf = 0``."""
+    mask = x != 0
+    return float(x[mask] @ cost[mask])
+
+
+def batch_exchange_stats(
+    inst: Instance,
+    R: np.ndarray,
+    i: int,
+    owners: np.ndarray,
+    loads: np.ndarray | None = None,
+    *,
+    order_cache: dict[int, np.ndarray] | None = None,
+    compute_moved: bool = True,
+    rt_full: np.ndarray | None = None,
+    ct_full: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate Algorithm 1 for server ``i`` against *every* candidate
+    partner simultaneously (batched closed form).
+
+    Returns ``(impr, moved)`` — per-candidate exact ``ΣCi`` improvement and
+    total volume of requests that would change servers.  ``owners``
+    restricts the per-organization computation to rows that can hold load
+    (``n_k > 0``); all other rows of ``R`` are identically zero.
+
+    ``order_cache`` may hold the per-server argsort of the latency
+    difference matrix — it depends only on the static latencies, so
+    :class:`MinEOptimizer` reuses it across sweeps.  ``compute_moved=False``
+    skips the transfer-volume output (partner selection only needs
+    ``impr``).
+    """
+    s = inst.speeds
+    c = inst.latency
+    s_i = float(s[i])
+    m = inst.m
+    l = R.sum(axis=0) if loads is None else loads
+    full = owners.shape[0] == m
+
+    # Transposed (m, h) layout — row j = candidate partner, column k =
+    # owning org — so that the sorts, prefix sums and reductions all run
+    # along contiguous memory.
+    if rt_full is None:
+        rt_full = R.T  # strided view; pass a contiguous copy to go faster
+    if ct_full is None:
+        ct_full = c.T
+    if full:
+        Ri = np.ascontiguousarray(rt_full[i])
+        c_owners_i = np.ascontiguousarray(ct_full[i])
+        Rt = rt_full
+        Ct = ct_full
+    else:
+        Ri = np.ascontiguousarray(rt_full[i, owners])
+        c_owners_i = np.ascontiguousarray(ct_full[i, owners])
+        Rt = np.ascontiguousarray(rt_full[:, owners])
+        Ct = np.ascontiguousarray(ct_full[:, owners])
+    Pool = Rt + Ri[None, :]  # pooled requests per candidate row (m, h)
+    if inst.has_inf_latency:
+        with np.errstate(invalid="ignore"):
+            D = Ct - c_owners_i[None, :]  # d_k per candidate row
+        # inf − inf → owner reaches neither server; it holds nothing at
+        # either, so any immovable (+inf) difference is correct.
+        D[np.isnan(D)] = np.inf
+    else:
+        D = Ct - c_owners_i[None, :]  # d_k per candidate row
+
+    L = l[i] + l  # pooled load per candidate j
+    A = s * L / (s_i + s)
+    B = s_i * s / (s_i + s)
+
+    if order_cache is not None and i in order_cache:
+        order = order_cache[i]
+    else:
+        order = np.argsort(D, axis=1)
+        if order_cache is not None:
+            order = order.astype(np.int32, copy=False)
+            order_cache[i] = order
+    h = owners.shape[0]
+    rows_idx = np.arange(m)[:, None]
+    d_s = D[rows_idx, order]
+    r_s = Pool[rows_idx, order]
+    prefix = np.cumsum(r_s, axis=1)
+    key = prefix + B[:, None] * d_s
+    K = (key <= A[:, None]).sum(axis=1)  # fully-moved orgs per candidate
+
+    t = np.where(np.arange(h)[None, :] < K[:, None], r_s, 0.0)
+    rows = np.flatnonzero(K < h)
+    if rows.size:
+        kp = K[rows]
+        before = np.where(kp > 0, prefix[rows, np.maximum(kp - 1, 0)], 0.0)
+        partial = A[rows] - B[rows] * d_s[rows, kp] - before
+        t[rows, kp] = np.clip(partial, 0.0, r_s[rows, kp])
+
+    T = t.sum(axis=1)  # load ending up on the candidate partner
+    li_new = L - T
+    cong_old = l[i] ** 2 / (2 * s_i) + l**2 / (2 * s)
+    cong_new = li_new**2 / (2 * s_i) + T**2 / (2 * s)
+    if inst.has_inf_latency:
+        # Forbidden links carrying no load cost nothing (0·inf := 0);
+        # direct per-term evaluation avoids inf − inf.
+        def _rowsum(x: np.ndarray, cost: np.ndarray) -> np.ndarray:
+            with np.errstate(invalid="ignore"):
+                prod = x * cost
+            prod[x == 0.0] = 0.0
+            return prod.sum(axis=1)
+
+        ci_sorted = c_owners_i[order]
+        cj_sorted = Ct[rows_idx, order]
+        comm_old = _safe_dot_scalar(Ri, c_owners_i) + _rowsum(Rt, Ct)
+        comm_new = _rowsum(r_s - t, ci_sorted) + _rowsum(t, cj_sorted)
+    else:
+        comm_old = float(Ri @ c_owners_i) + np.einsum("jk,jk->j", Rt, Ct)
+        # comm_new = Σ_k (pool_k − t_k) c_ki + t_k c_kj
+        #          = Σ_k pool_k c_ki + Σ_k t_k d_k   (d in sorted order)
+        comm_new = Pool @ c_owners_i + np.einsum("jk,jk->j", t, d_s)
+
+    impr = (cong_old + comm_old) - (cong_new + comm_new)
+    impr[i] = -np.inf  # never pair with self
+
+    if not compute_moved:
+        return impr, np.zeros(m)
+    # moved_j = Σ_k |new r_ki − old r_ki| = Σ_k |old r_kj − t_k|; t is in
+    # sorted order so compare against the old partner column sorted alike.
+    old_j_sorted = Rt[rows_idx, order]
+    moved = np.abs(old_j_sorted - t).sum(axis=1)
+    moved[i] = 0.0
+    return impr, moved
+
+
+def best_partner_exact(
+    inst: Instance,
+    R: np.ndarray,
+    i: int,
+    owners: np.ndarray,
+    loads: np.ndarray | None = None,
+    order_cache: dict[int, np.ndarray] | None = None,
+    rt_full: np.ndarray | None = None,
+    ct_full: np.ndarray | None = None,
+) -> tuple[int, float]:
+    """Return ``(argmax_j impr(i, j), max impr)`` — Algorithm 2's partner
+    choice, evaluated exactly for all candidates at once."""
+    impr, _ = batch_exchange_stats(
+        inst, R, i, owners, loads, order_cache=order_cache,
+        compute_moved=False, rt_full=rt_full, ct_full=ct_full,
+    )
+    j = int(np.argmax(impr))
+    return j, float(impr[j])
+
+
+def _screen_scores(
+    inst: Instance, loads: np.ndarray, i: int
+) -> np.ndarray:
+    """O(m) optimistic-minus-penalty partner score: congestion gain of a
+    perfect two-server balance minus a latency proxy for the moved volume."""
+    s = inst.speeds
+    s_i = s[i]
+    l = loads
+    L = l[i] + l
+    cong_now = l[i] ** 2 / (2 * s_i) + l**2 / (2 * s)
+    cong_best = L**2 / (2 * (s_i + s))
+    li_star = s_i * L / (s_i + s)
+    moved = np.abs(l[i] - li_star)
+    score = (cong_now - cong_best) - inst.latency[i] * moved
+    score[i] = -np.inf
+    return score
+
+
+class MinEOptimizer:
+    """Iterative distributed optimizer (Algorithms 1 + 2).
+
+    Parameters
+    ----------
+    state:
+        The allocation to optimize in place.
+    rng:
+        Randomness source for the per-iteration server order.
+    strategy:
+        ``"exact"``, ``"screened"`` or ``"auto"`` (see module docstring).
+    screen_width:
+        Number of candidates kept by the screening pass.
+    min_improvement:
+        Exchanges improving ``ΣCi`` by less than this are skipped.
+    load_view:
+        Optional callable ``load_view(server) -> np.ndarray`` returning the
+        (possibly stale) load vector that server uses to *choose* its
+        partner.  The exchange itself always uses true state, modelling the
+        pair synchronizing when they talk.
+    cycle_removal_every:
+        If set, run the appendix's negative-cycle removal (min-cost flow)
+        after every that many sweeps.
+    snapshot_partner_selection:
+        When true, every server in a sweep chooses its partner from the
+        load vector *as of the sweep's start* — modelling a synchronous
+        distributed round in which information propagates once per
+        iteration (exchanges themselves stay exact).
+    """
+
+    def __init__(
+        self,
+        state: AllocationState,
+        *,
+        rng: np.random.Generator | int | None = None,
+        strategy: Literal["exact", "screened", "auto"] = "auto",
+        screen_width: int = 16,
+        min_improvement: float = 1e-9,
+        load_view: Callable[[int], np.ndarray] | None = None,
+        cycle_removal_every: int | None = None,
+        snapshot_partner_selection: bool = False,
+    ):
+        self.state = state
+        self.rng = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        if strategy not in ("exact", "screened", "auto"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        self.screen_width = int(screen_width)
+        self.min_improvement = float(min_improvement)
+        self.load_view = load_view
+        self.cycle_removal_every = cycle_removal_every
+        self.snapshot_partner_selection = snapshot_partner_selection
+        self.owners = np.flatnonzero(state.inst.loads > 0)
+        self._iteration = 0
+        self._snapshot_loads: np.ndarray | None = None
+        # The argsort of the latency-difference matrix per server depends
+        # only on the static latencies; cache it across sweeps when the
+        # total footprint (m × m × h int32) stays modest.
+        m = state.inst.m
+        h = max(1, self.owners.size)
+        self._order_cache: dict[int, np.ndarray] | None = (
+            {} if m * m * h * 4 <= 256 * 1024 * 1024 else None
+        )
+        # Contiguous transposes: the batch kernel reads along candidate
+        # rows, so both R and the latency matrix are kept transposed.
+        self._Ct = np.ascontiguousarray(state.inst.latency.T)
+        self._Rt = np.ascontiguousarray(state.R.T)
+
+    # ------------------------------------------------------------------
+    def _effective_strategy(self) -> str:
+        if self.strategy != "auto":
+            return self.strategy
+        # Exact batch evaluation is O(h·m log m) per server and O(h·m²·log m)
+        # per sweep; fall back to screening when that gets large.
+        h = max(1, self.owners.size)
+        return "exact" if h * self.state.inst.m <= 400_000 else "screened"
+
+    def best_partner(self, i: int) -> tuple[int, float]:
+        """Partner choice of Algorithm 2 for server ``i``."""
+        inst = self.state.inst
+        if self.load_view is not None:
+            loads = self.load_view(i)
+        elif self._snapshot_loads is not None:
+            loads = self._snapshot_loads
+        else:
+            loads = self.state.loads
+        if self._effective_strategy() == "exact":
+            return best_partner_exact(
+                inst, self.state.R, i, self.owners, loads,
+                self._order_cache, self._Rt, self._Ct,
+            )
+        scores = _screen_scores(inst, loads, i)
+        width = min(self.screen_width, inst.m - 1)
+        by_score = np.argpartition(scores, -width)[-width:]
+        # Load-imbalance scores miss communication-driven exchanges (the
+        # convergence tail re-homes requests between near-balanced
+        # servers); the lowest-latency peers cover that case cheaply.
+        near = min(max(width // 2, 2), inst.m - 1)
+        by_latency = np.argpartition(inst.latency[i], near)[:near]
+        cand = np.unique(np.concatenate([by_score, by_latency]))
+        cand = cand[cand != i]
+        cand = cand[np.isfinite(scores[cand])]
+        best_j, best_impr = -1, -np.inf
+        for j in cand:
+            ex = calc_best_transfer(inst, self.state.R, i, int(j))
+            if ex.improvement > best_impr:
+                best_j, best_impr = int(j), ex.improvement
+        return best_j, best_impr
+
+    def step(self, i: int) -> PairExchange | None:
+        """Algorithm 2 for a single server; returns the applied exchange."""
+        j, impr = self.best_partner(i)
+        if j < 0 or impr <= self.min_improvement:
+            return None
+        ex = calc_best_transfer(self.state.inst, self.state.R, i, j)
+        if ex.improvement <= self.min_improvement:
+            return None
+        self.state.apply_pair_columns(i, j, ex.col_i, ex.col_j)
+        self._Rt[i] = ex.col_i
+        self._Rt[j] = ex.col_j
+        return ex
+
+    def sweep(self) -> SweepStats:
+        """One iteration: every server acts once, in random order."""
+        cost_before = self.state.total_cost()
+        order = self.rng.permutation(self.state.inst.m)
+        self._snapshot_loads = (
+            self.state.loads.copy() if self.snapshot_partner_selection else None
+        )
+        moved = 0.0
+        exchanges = 0
+        for i in order:
+            ex = self.step(int(i))
+            if ex is not None:
+                moved += ex.moved
+                exchanges += 1
+        self._snapshot_loads = None
+        self._iteration += 1
+        if (
+            self.cycle_removal_every is not None
+            and self._iteration % self.cycle_removal_every == 0
+        ):
+            from ..flow.transportation import remove_negative_cycles
+
+            remove_negative_cycles(self.state)
+            self._Rt = np.ascontiguousarray(self.state.R.T)
+        self.state.refresh_loads()
+        return SweepStats(
+            iteration=self._iteration,
+            cost_before=cost_before,
+            cost_after=self.state.total_cost(),
+            total_moved=moved,
+            exchanges=exchanges,
+        )
+
+    def run(
+        self,
+        *,
+        max_iterations: int = 100,
+        optimum: float | None = None,
+        rel_tol: float | None = None,
+        stall_tol: float = 1e-10,
+    ) -> ConvergenceTrace:
+        """Iterate until the relative error versus ``optimum`` drops below
+        ``rel_tol``, the improvement stalls, or ``max_iterations`` is hit.
+
+        Returns the full cost trajectory (``costs[0]`` is the initial cost,
+        ``costs[k]`` the cost after iteration ``k``), mirroring Figure 2.
+        """
+        trace = ConvergenceTrace()
+        trace.costs.append(self.state.total_cost())
+        for _ in range(max_iterations):
+            stats = self.sweep()
+            trace.sweeps.append(stats)
+            trace.costs.append(stats.cost_after)
+            if optimum is not None and rel_tol is not None:
+                denom = optimum if optimum > 0 else 1.0
+                if (stats.cost_after - optimum) / denom <= rel_tol:
+                    trace.converged = True
+                    break
+            if stats.improvement <= stall_tol * max(1.0, stats.cost_before):
+                trace.converged = optimum is None or rel_tol is None
+                break
+        return trace

@@ -1,0 +1,72 @@
+"""Distance-to-optimum estimation — Proposition 1 of Section IV-B.
+
+While the distributed algorithm runs, each server knows how much load it
+*would* still exchange with each partner (the Algorithm 1 transfer
+volumes ``Δr_jk``).  Proposition 1 turns that locally observable quantity
+into a global certificate: with
+
+    ΔR = Σ_j max_k (1/s_j + 1/s_k) · Δr_jk
+
+the Manhattan distance between the current solution ``ρ'`` and the closest
+optimum ``ρ`` (measured in requests) is at most ``(4m + 1) · ΔR · Σ_i s_i``,
+provided the error graph has no negative cycles (which
+:func:`repro.flow.transportation.remove_negative_cycles` guarantees).
+
+In practice the bound is loose but cheap to evaluate and — crucially —
+shrinks to zero together with the pending transfers, so it tells an
+operator when continuing to iterate is no longer worthwhile (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distributed import batch_exchange_stats
+from .instance import Instance
+from .state import AllocationState
+
+__all__ = ["pending_transfer_volumes", "delta_r", "error_bound"]
+
+
+def pending_transfer_volumes(
+    inst: Instance,
+    state: AllocationState,
+    servers: np.ndarray | None = None,
+    *,
+    rel_tol: float = 1e-9,
+) -> np.ndarray:
+    """Matrix ``Δr_jk`` of Algorithm 1 transfer volumes for every requested
+    server ``j`` against every partner ``k`` in the current state.
+
+    Row ``j`` holds the volume of requests that would change executing
+    server if the pair ``(j, k)`` re-balanced right now.  Exchanges whose
+    cost improvement is below ``rel_tol`` times the current ``ΣCi`` are
+    ignored: at a degenerate optimum Algorithm 1 may shuffle between
+    equal-cost allocations, which are not *pending* transfers.  ``O(m)``
+    batched Algorithm 1 evaluations.
+    """
+    owners = np.flatnonzero(inst.loads > 0)
+    js = np.arange(inst.m) if servers is None else np.asarray(servers)
+    out = np.zeros((js.shape[0], inst.m))
+    atol = rel_tol * max(1.0, state.total_cost())
+    for row, j in enumerate(js):
+        impr, moved = batch_exchange_stats(inst, state.R, int(j), owners, state.loads)
+        moved[impr <= atol] = 0.0
+        out[row] = moved
+    return out
+
+
+def delta_r(inst: Instance, state: AllocationState) -> float:
+    """The aggregate pending-transfer statistic
+    ``ΔR = Σ_j max_k (1/s_j + 1/s_k) Δr_jk``."""
+    s = inst.speeds
+    volumes = pending_transfer_volumes(inst, state)
+    weights = 1.0 / s[:, None] + 1.0 / s[None, :]
+    np.fill_diagonal(weights, 0.0)
+    return float(np.max(weights * volumes, axis=1).sum())
+
+
+def error_bound(inst: Instance, state: AllocationState) -> float:
+    """Proposition 1 bound on ``‖ρ − ρ'‖₁`` (in requests):
+    ``(4m + 1) · ΔR · Σ_i s_i``."""
+    return (4.0 * inst.m + 1.0) * delta_r(inst, state) * float(inst.speeds.sum())

@@ -1,0 +1,147 @@
+"""Selfish organizations — Section V of the paper.
+
+Each organization ``i`` controls only its own requests and minimizes its
+private cost ``Ci = Σ_j r_ij ((l_j^{-i} + r_ij)/(2 s_j) + c_ij)``.  The
+best response is the exact water-fill with the *selfish* marginal
+``a_j = c_ij + l_j^{-i} / (2 s_j)`` (the factor 2 is the only difference
+from the cooperative marginal — selfish players internalize only half the
+congestion they cause).
+
+A Nash equilibrium is a fixed point of the joint best responses.  As in
+Section VI-C of the paper, the equilibrium is approximated by
+best-response dynamics stopped when every organization changes its
+distribution by less than ``tol_change`` (1 % in the paper) in two
+consecutive rounds.  The *cost of selfishness* (empirical price of
+anarchy) is the ratio between ``ΣCi`` at the equilibrium and at the
+cooperative optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .instance import Instance
+from .qp import solve_coordinate_descent
+from .state import AllocationState
+from .waterfill import waterfill, waterfill_value
+
+__all__ = [
+    "selfish_best_response",
+    "best_response_dynamics",
+    "nash_gap",
+    "BestResponseTrace",
+    "price_of_anarchy",
+]
+
+
+def selfish_best_response(
+    inst: Instance,
+    state: AllocationState,
+    i: int,
+    *,
+    upper: np.ndarray | None = None,
+) -> np.ndarray:
+    """Exact best response of organization ``i`` to the current allocation.
+
+    Optionally capped (``upper``) for the replication extension of
+    Section VII.
+    """
+    l_minus = state.loads - state.R[i]
+    a = inst.latency[i] + l_minus / (2.0 * inst.speeds)
+    return waterfill(inst.speeds, a, float(inst.loads[i]), upper)
+
+
+@dataclass
+class BestResponseTrace:
+    """Record of a best-response-dynamics run."""
+
+    costs: list[float] = field(default_factory=list)
+    max_changes: list[float] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def rounds(self) -> int:
+        return len(self.max_changes)
+
+
+def best_response_dynamics(
+    inst: Instance,
+    *,
+    state: AllocationState | None = None,
+    max_rounds: int = 500,
+    tol_change: float = 0.01,
+    consecutive: int = 2,
+    rng: np.random.Generator | int | None = None,
+    upper: np.ndarray | None = None,
+) -> tuple[AllocationState, BestResponseTrace]:
+    """Approximate a Nash equilibrium by iterated exact best responses.
+
+    Following Section VI-C, the dynamics stop when for ``consecutive``
+    rounds in a row every organization changed its request distribution by
+    less than ``tol_change`` (relative L1 change ``‖r_i' − r_i‖₁ / n_i``).
+    """
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    st = state.copy() if state is not None else AllocationState.initial(inst)
+    n = inst.loads
+    owners = np.flatnonzero(n > 0)
+    trace = BestResponseTrace()
+    trace.costs.append(st.total_cost())
+    quiet_rounds = 0
+    for _ in range(max_rounds):
+        order = rng.permutation(owners)
+        max_change = 0.0
+        for i in order:
+            i = int(i)
+            row = selfish_best_response(inst, st, i, upper=upper)
+            change = float(np.abs(row - st.R[i]).sum()) / n[i]
+            max_change = max(max_change, change)
+            st.set_row(i, row)
+        trace.max_changes.append(max_change)
+        trace.costs.append(st.total_cost())
+        quiet_rounds = quiet_rounds + 1 if max_change < tol_change else 0
+        if quiet_rounds >= consecutive:
+            trace.converged = True
+            break
+    st.refresh_loads()
+    return st, trace
+
+
+def nash_gap(inst: Instance, state: AllocationState) -> float:
+    """Maximum relative cost reduction any single organization could get by
+    unilaterally deviating to its best response — an equilibrium
+    certificate (0 at an exact Nash equilibrium)."""
+    gap = 0.0
+    for i in np.flatnonzero(inst.loads > 0):
+        i = int(i)
+        l_minus = state.loads - state.R[i]
+        a = inst.latency[i] + l_minus / (2.0 * inst.speeds)
+        current = waterfill_value(inst.speeds, a, state.R[i])
+        best_row = waterfill(inst.speeds, a, float(inst.loads[i]))
+        best = waterfill_value(inst.speeds, a, best_row)
+        if current > 0:
+            gap = max(gap, (current - best) / current)
+    return gap
+
+
+def price_of_anarchy(
+    inst: Instance,
+    *,
+    rng: np.random.Generator | int | None = None,
+    tol_change: float = 0.01,
+    optimum: AllocationState | None = None,
+) -> tuple[float, AllocationState, AllocationState]:
+    """Empirical cost of selfishness: ``ΣCi(NE) / ΣCi(OPT)``.
+
+    Returns ``(ratio, equilibrium_state, optimal_state)``.  The equilibrium
+    is approximated with :func:`best_response_dynamics`; the optimum with
+    :func:`~repro.core.qp.solve_coordinate_descent` unless provided.
+    """
+    ne, _ = best_response_dynamics(inst, rng=rng, tol_change=tol_change)
+    opt = optimum if optimum is not None else solve_coordinate_descent(inst)
+    c_ne = ne.total_cost()
+    c_opt = opt.total_cost()
+    if c_opt <= 0:
+        return 1.0, ne, opt
+    return c_ne / c_opt, ne, opt

@@ -1,0 +1,160 @@
+"""Problem instances for delay-aware load balancing.
+
+An :class:`Instance` captures the model of Section II of the paper: ``m``
+organizations, each owning one server with processing speed ``s[i]`` and an
+initial load of ``n[i]`` unit requests, connected by a network with constant
+pairwise latencies ``c[i, j]`` (``c[i, i] == 0``).
+
+Executing one request on server ``j`` costs ``1 / s[j]`` time units; with
+``l[j]`` requests assigned to server ``j`` and no assumed processing order,
+the expected handling time of a request is ``l[j] / (2 s[j])``.  A request
+relayed from ``i`` to ``j`` additionally pays the latency ``c[i, j]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Instance"]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """An immutable delay-aware load-balancing problem.
+
+    Parameters
+    ----------
+    speeds:
+        Array of shape ``(m,)`` with strictly positive server speeds ``s_i``.
+    loads:
+        Array of shape ``(m,)`` with non-negative initial loads ``n_i`` (the
+        number of requests *owned* by each organization).
+    latency:
+        Array of shape ``(m, m)`` with non-negative pairwise communication
+        latencies ``c_ij``.  The diagonal must be zero.  The matrix does not
+        have to be symmetric, but the topology generators in
+        :mod:`repro.net` produce symmetric matrices.
+    """
+
+    speeds: np.ndarray
+    loads: np.ndarray
+    latency: np.ndarray
+    _hash: int = field(default=0, compare=False, repr=False)
+    #: True when some link is forbidden (``c_ij = inf`` — the §II
+    #: neighbour/trust restriction); kernels then use inf-safe arithmetic.
+    has_inf_latency: bool = field(default=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        s = np.asarray(self.speeds, dtype=np.float64)
+        n = np.asarray(self.loads, dtype=np.float64)
+        c = np.asarray(self.latency, dtype=np.float64)
+        if s.ndim != 1:
+            raise ValueError(f"speeds must be 1-D, got shape {s.shape}")
+        m = s.shape[0]
+        if m == 0:
+            raise ValueError("an instance needs at least one server")
+        if n.shape != (m,):
+            raise ValueError(f"loads must have shape ({m},), got {n.shape}")
+        if c.shape != (m, m):
+            raise ValueError(f"latency must have shape ({m}, {m}), got {c.shape}")
+        if not np.all(np.isfinite(s)) or np.any(s <= 0):
+            raise ValueError("speeds must be finite and strictly positive")
+        if not np.all(np.isfinite(n)) or np.any(n < 0):
+            raise ValueError("loads must be finite and non-negative")
+        if np.any(np.isnan(c)) or np.any(c < 0):
+            raise ValueError("latencies must be non-negative (inf allowed)")
+        if np.any(np.diagonal(c) != 0):
+            raise ValueError("latency diagonal (c_ii) must be zero")
+        s = np.ascontiguousarray(s)
+        n = np.ascontiguousarray(n)
+        c = np.ascontiguousarray(c)
+        s.setflags(write=False)
+        n.setflags(write=False)
+        c.setflags(write=False)
+        object.__setattr__(self, "speeds", s)
+        object.__setattr__(self, "loads", n)
+        object.__setattr__(self, "latency", c)
+        object.__setattr__(self, "has_inf_latency", bool(np.isinf(c).any()))
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((s.tobytes(), n.tobytes(), c.tobytes())),
+        )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of organizations / servers."""
+        return self.speeds.shape[0]
+
+    @property
+    def total_load(self) -> float:
+        """Total number of requests in the system, ``Σ n_i``."""
+        return float(self.loads.sum())
+
+    @property
+    def average_load(self) -> float:
+        """Average initial load per server, ``l_av``."""
+        return self.total_load / self.m
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return (
+            np.array_equal(self.speeds, other.speeds)
+            and np.array_equal(self.loads, other.loads)
+            and np.array_equal(self.latency, other.latency)
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience predicates used by the theory module
+    # ------------------------------------------------------------------
+    def is_homogeneous(self, rtol: float = 1e-12) -> bool:
+        """True when all speeds are equal and all off-diagonal latencies are
+        equal — the setting of Section V-A of the paper."""
+        s0 = self.speeds[0]
+        if not np.allclose(self.speeds, s0, rtol=rtol, atol=0):
+            return False
+        off = self.latency[~np.eye(self.m, dtype=bool)]
+        if off.size == 0:
+            return True
+        return bool(np.allclose(off, off.flat[0], rtol=rtol, atol=0))
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @staticmethod
+    def homogeneous(
+        m: int,
+        *,
+        speed: float = 1.0,
+        delay: float = 20.0,
+        loads: np.ndarray | float | None = None,
+    ) -> "Instance":
+        """Build the homogeneous network of Section V-A: equal speeds and a
+        single constant latency ``delay`` between every pair of servers."""
+        s = np.full(m, float(speed))
+        c = np.full((m, m), float(delay))
+        np.fill_diagonal(c, 0.0)
+        if loads is None:
+            n = np.zeros(m)
+        elif np.isscalar(loads):
+            n = np.full(m, float(loads))
+        else:
+            n = np.asarray(loads, dtype=np.float64)
+        return Instance(s, n, c)
+
+    def with_loads(self, loads: np.ndarray) -> "Instance":
+        """Return a copy of this instance with different initial loads."""
+        return Instance(self.speeds, loads, self.latency)
+
+    def with_speeds(self, speeds: np.ndarray) -> "Instance":
+        """Return a copy of this instance with different server speeds."""
+        return Instance(speeds, self.loads, self.latency)

@@ -1,0 +1,131 @@
+"""Replicated execution — second extension of Section VII.
+
+Each organization must execute ``R`` copies of every task, each copy on a
+*different* server.  The paper handles this by adding the cap
+``ρ_ij ≤ 1/R`` to the fractional problem, after which ``R·ρ_ij`` is a valid
+inclusion probability for placing a copy of any task on server ``j``
+(``Σ_j R·ρ_ij = R``).
+
+This module provides:
+
+* :func:`solve_replicated` — the cooperative optimum under the cap,
+  computed by bounded-water-fill coordinate descent;
+* :func:`sample_replica_placement` — a placement of ``R`` *distinct*
+  servers per task whose marginal inclusion probabilities equal
+  ``R·ρ_ij`` exactly (systematic sampling — the classic survey-sampling
+  scheme; distinctness follows from every probability being ≤ 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .instance import Instance
+from .state import AllocationState
+from .waterfill import waterfill
+
+__all__ = ["solve_replicated", "sample_replica_placement", "replication_feasible"]
+
+
+def replication_feasible(inst: Instance, replicas: int) -> bool:
+    """The cap ``ρ_ij ≤ 1/R`` is feasible iff ``R ≤ m``."""
+    return 1 <= replicas <= inst.m
+
+
+def solve_replicated(
+    inst: Instance,
+    replicas: int,
+    *,
+    max_passes: int = 500,
+    tol: float = 1e-12,
+) -> AllocationState:
+    """Cooperative optimum of ``ΣCi`` under the cap ``ρ_ij ≤ 1/R``.
+
+    Identical to :func:`repro.core.qp.solve_coordinate_descent` except each
+    row's exact minimizer is a *bounded* water-fill with
+    ``u_j = n_i / R``.  Starts from the uniform feasible point
+    ``ρ_ij = 1/m``.
+    """
+    if not replication_feasible(inst, replicas):
+        raise ValueError(f"replication factor {replicas} infeasible for m={inst.m}")
+    m = inst.m
+    n = inst.loads
+    s = inst.speeds
+    c = inst.latency
+    st = AllocationState(inst, np.outer(n, np.full(m, 1.0 / m)), validate=False)
+    owners = np.flatnonzero(n > 0)
+    prev = st.total_cost()
+    for _ in range(max_passes):
+        for i in owners:
+            i = int(i)
+            l_minus = st.loads - st.R[i]
+            a = c[i] + l_minus / s
+            cap = np.full(m, n[i] / replicas)
+            st.set_row(i, waterfill(s, a, float(n[i]), upper=cap))
+        cost = st.total_cost()
+        if prev - cost <= tol * max(1.0, abs(prev)):
+            break
+        prev = cost
+    st.refresh_loads()
+    return st
+
+
+def sample_replica_placement(
+    fractions_row: np.ndarray,
+    replicas: int,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Sample ``R`` distinct server indices with inclusion probabilities
+    ``π_j = R · ρ_ij`` (systematic sampling).
+
+    The probabilities must satisfy ``π_j ≤ 1`` (guaranteed by the
+    ``ρ_ij ≤ 1/R`` cap) and ``Σ_j π_j = R``.  Systematic sampling walks a
+    random offset plus unit strides through the cumulative probabilities;
+    with all ``π_j ≤ 1`` no server can be selected twice, so exactly ``R``
+    distinct servers are returned and every server ``j`` is included with
+    probability exactly ``π_j``.
+    """
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    rho = np.asarray(fractions_row, dtype=np.float64)
+    pi = replicas * rho
+    if np.any(pi > 1.0 + 1e-9):
+        raise ValueError("inclusion probabilities exceed 1 (cap violated)")
+    total = pi.sum()
+    if not np.isclose(total, replicas, atol=1e-6):
+        raise ValueError(f"Σ R·ρ_ij = {total}, expected {replicas}")
+    pi = pi * (replicas / total)  # absorb float drift
+    # Random permutation makes the joint distribution exchangeable; the
+    # marginals are exact for any order.
+    perm = rng.permutation(pi.shape[0])
+    cum = np.cumsum(pi[perm])
+    offset = rng.uniform(0.0, 1.0)
+    points = offset + np.arange(replicas)
+    chosen_pos = np.searchsorted(cum, points, side="left")
+    chosen_pos = np.clip(chosen_pos, 0, pi.shape[0] - 1)
+    chosen = perm[chosen_pos]
+    if np.unique(chosen).shape[0] != replicas:
+        # Float-boundary duplicates are vanishingly rare; fall back to a
+        # direct conditional-Poisson-style fix-up that keeps distinctness.
+        chosen = _dedupe(chosen, pi, perm, cum, points)
+    return np.sort(chosen)
+
+
+def _dedupe(
+    chosen: np.ndarray,
+    pi: np.ndarray,
+    perm: np.ndarray,
+    cum: np.ndarray,
+    points: np.ndarray,
+) -> np.ndarray:
+    out: list[int] = []
+    used: set[int] = set()
+    for idx in chosen:
+        j = int(idx)
+        while j in used:
+            # advance to the next not-yet-used server in permutation order
+            where = int(np.flatnonzero(perm == j)[0])
+            where = (where + 1) % perm.shape[0]
+            j = int(perm[where])
+        used.add(j)
+        out.append(j)
+    return np.asarray(out, dtype=np.int64)

@@ -1,0 +1,185 @@
+"""Discrete tasks of different sizes — first extension of Section VII.
+
+When the load consists of indivisible tasks ``J_i = {J_i(k)}`` with sizes
+``p_i(k)``, the paper solves the fractional problem with
+``n_i = Σ_k p_i(k)`` and then *rounds*: organization ``i`` must pick a
+partition ``{S_i(j)}`` of its tasks over the servers minimizing the total
+deviation ``Σ_j |Σ_{k ∈ S_i(j)} p_i(k) − ρ_ij n_i|`` — an instance of the
+multiple subset-sum problem with different knapsack capacities
+(NP-complete; a PTAS exists [Caprara et al. 2000]).
+
+This module implements the pipeline: fractional solve → per-organization
+rounding with a greedy largest-task-first heuristic refined by
+single-task relocations — plus exact brute force for tiny inputs, used by
+the tests to measure the heuristic's optimality gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from .instance import Instance
+from .qp import solve_coordinate_descent
+from .state import AllocationState
+
+__all__ = [
+    "TaskSet",
+    "DiscreteAssignment",
+    "round_tasks_greedy",
+    "round_tasks_bruteforce",
+    "rounding_error",
+    "solve_discrete",
+]
+
+
+@dataclass(frozen=True)
+class TaskSet:
+    """The discrete tasks owned by one organization."""
+
+    owner: int
+    sizes: np.ndarray  # strictly positive task sizes p_i(k)
+
+    def __post_init__(self) -> None:
+        sizes = np.asarray(self.sizes, dtype=np.float64)
+        if sizes.ndim != 1:
+            raise ValueError("sizes must be a 1-D array")
+        if np.any(sizes <= 0) or not np.all(np.isfinite(sizes)):
+            raise ValueError("task sizes must be finite and positive")
+        object.__setattr__(self, "sizes", sizes)
+
+    @property
+    def total(self) -> float:
+        return float(self.sizes.sum())
+
+
+@dataclass
+class DiscreteAssignment:
+    """Result of rounding one organization's tasks to servers.
+
+    ``assignment[k] = j`` places task ``k`` on server ``j``.
+    """
+
+    owner: int
+    assignment: np.ndarray
+    targets: np.ndarray  # the fractional capacities ρ_ij · n_i
+
+    def bin_sums(self, m: int) -> np.ndarray:
+        sums = np.zeros(m)
+        np.add.at(sums, self.assignment, 1.0)
+        return sums
+
+    def error(self, sizes: np.ndarray) -> float:
+        """Total deviation ``Σ_j |bin_j − target_j``| (the paper's
+        ``Σ err(S_i(j))``)."""
+        m = self.targets.shape[0]
+        sums = np.zeros(m)
+        np.add.at(sums, self.assignment, sizes)
+        return float(np.abs(sums - self.targets).sum())
+
+
+def round_tasks_greedy(
+    sizes: np.ndarray,
+    targets: np.ndarray,
+    *,
+    refine_passes: int = 4,
+) -> np.ndarray:
+    """Greedy multiple-subset-sum rounding with local refinement.
+
+    Tasks are placed largest-first into the bin with the largest remaining
+    capacity; then single-task relocations are applied while they reduce
+    the total deviation.  Returns the per-task server indices.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    m = targets.shape[0]
+    order = np.argsort(sizes)[::-1]
+    remaining = targets.copy()
+    assign = np.empty(sizes.shape[0], dtype=np.int64)
+    for k in order:
+        j = int(np.argmax(remaining))
+        assign[k] = j
+        remaining[j] -= sizes[k]
+
+    # Local refinement: move one task at a time if it lowers Σ|bin−target|.
+    bins = np.zeros(m)
+    np.add.at(bins, assign, sizes)
+    for _ in range(refine_passes):
+        improved = False
+        for k in order:
+            j = assign[k]
+            p = sizes[k]
+            # error change if k moves j -> j2:
+            #   Δ = |b_j − p − t_j| − |b_j − t_j|
+            #     + |b_j2 + p − t_j2| − |b_j2 − t_j2|
+            base_out = abs(bins[j] - p - targets[j]) - abs(bins[j] - targets[j])
+            delta_in = np.abs(bins + p - targets) - np.abs(bins - targets)
+            delta_in[j] = np.inf
+            j2 = int(np.argmin(delta_in))
+            if base_out + delta_in[j2] < -1e-12:
+                bins[j] -= p
+                bins[j2] += p
+                assign[k] = j2
+                improved = True
+        if not improved:
+            break
+    return assign
+
+
+def round_tasks_bruteforce(sizes: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Exact optimal rounding by exhaustive search (tiny inputs only)."""
+    sizes = np.asarray(sizes, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    k, m = sizes.shape[0], targets.shape[0]
+    if m**k > 500_000:
+        raise ValueError("brute force limited to m^k <= 5e5")
+    best, best_err = None, np.inf
+    for combo in product(range(m), repeat=k):
+        bins = np.zeros(m)
+        for task, j in enumerate(combo):
+            bins[j] += sizes[task]
+        err = float(np.abs(bins - targets).sum())
+        if err < best_err - 1e-15:
+            best_err = err
+            best = combo
+    return np.asarray(best, dtype=np.int64)
+
+
+def rounding_error(sizes: np.ndarray, targets: np.ndarray, assign: np.ndarray) -> float:
+    """Total deviation of an assignment from the fractional targets."""
+    bins = np.zeros(targets.shape[0])
+    np.add.at(bins, assign, np.asarray(sizes, dtype=np.float64))
+    return float(np.abs(bins - targets).sum())
+
+
+def solve_discrete(
+    speeds: np.ndarray,
+    latency: np.ndarray,
+    task_sets: list[TaskSet],
+) -> tuple[AllocationState, list[DiscreteAssignment]]:
+    """End-to-end Section VII pipeline for sized tasks.
+
+    1. Build the fractional instance with ``n_i = Σ_k p_i(k)``.
+    2. Solve it to optimality (coordinate descent).
+    3. Round each organization's tasks to the fractional targets.
+
+    Returns the fractional optimum and the per-organization discrete
+    assignments.
+    """
+    speeds = np.asarray(speeds, dtype=np.float64)
+    m = speeds.shape[0]
+    n = np.zeros(m)
+    for ts in task_sets:
+        if not 0 <= ts.owner < m:
+            raise ValueError(f"task set owner {ts.owner} out of range")
+        n[ts.owner] += ts.total
+    inst = Instance(speeds, n, latency)
+    opt = solve_coordinate_descent(inst)
+    assignments = []
+    for ts in task_sets:
+        targets = opt.R[ts.owner]
+        assign = round_tasks_greedy(ts.sizes, targets)
+        assignments.append(DiscreteAssignment(ts.owner, assign, targets.copy()))
+    return opt, assignments

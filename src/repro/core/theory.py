@@ -1,0 +1,96 @@
+"""Theoretical results of Section V-A (homogeneous networks).
+
+* **Lemma 3** — at a Nash equilibrium of a homogeneous network (equal
+  speeds ``s``, equal delays ``c``) the loads of any two servers differ by
+  at most ``c·s``.
+* **Theorem 1** — the price of anarchy satisfies
+
+      1 + 2cs/l_av − 4 (cs/l_av)²  ≤  PoA  ≤  1 + 2cs/l_av + (cs/l_av)²
+
+  so ``PoA = 1 + 2cs/l_av + O((cs/l_av)²)`` — low whenever servers are
+  loaded relative to the delay (``l_av ≫ cs``).
+* The **tightness construction**: with equal initial loads ``n_i = l_av``
+  every selfish server redirects ``(l_av − 2cs)/m`` requests to every other
+  server and keeps ``2cs + (l_av − 2cs)/m`` — a Nash equilibrium with the
+  same loads as the optimum but ``m(l_av − 2cs)(m−1)/m · c`` of wasted
+  communication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .instance import Instance
+from .state import AllocationState
+
+__all__ = [
+    "poa_upper_bound",
+    "poa_lower_bound",
+    "lemma3_bound",
+    "lemma3_violation",
+    "homogeneous_nash_construction",
+]
+
+
+def _homogeneous_params(inst: Instance) -> tuple[float, float, float]:
+    if not inst.is_homogeneous():
+        raise ValueError("Theorem 1 applies only to homogeneous networks")
+    s = float(inst.speeds[0])
+    if inst.m < 2:
+        raise ValueError("need at least two servers")
+    c = float(inst.latency[0, 1])
+    lav = inst.average_load
+    return s, c, lav
+
+
+def poa_upper_bound(inst: Instance) -> float:
+    """Theorem 1 upper bound ``1 + 2cs/l_av + (cs/l_av)²``."""
+    s, c, lav = _homogeneous_params(inst)
+    if lav <= 0:
+        return 1.0
+    x = c * s / lav
+    return 1.0 + 2.0 * x + x * x
+
+
+def poa_lower_bound(inst: Instance) -> float:
+    """Theorem 1 lower (tightness) bound ``1 + 2cs/l_av − 4 (cs/l_av)²``,
+    clipped at 1 (the price of anarchy is never below 1)."""
+    s, c, lav = _homogeneous_params(inst)
+    if lav <= 0:
+        return 1.0
+    x = c * s / lav
+    return max(1.0, 1.0 + 2.0 * x - 4.0 * x * x)
+
+
+def lemma3_bound(inst: Instance) -> float:
+    """The Lemma 3 load-spread bound ``c·s`` for a homogeneous instance."""
+    s, c, _ = _homogeneous_params(inst)
+    return c * s
+
+
+def lemma3_violation(inst: Instance, state: AllocationState) -> float:
+    """How much the equilibrium loads violate Lemma 3:
+    ``max_{i,j} |l_i − l_j| − c·s`` (non-positive means the lemma holds)."""
+    bound = lemma3_bound(inst)
+    spread = float(state.loads.max() - state.loads.min())
+    return spread - bound
+
+
+def homogeneous_nash_construction(inst: Instance) -> AllocationState:
+    """The explicit Nash equilibrium from the tightness proof of Theorem 1.
+
+    Requires a homogeneous instance with equal initial loads
+    ``n_i = l_av ≥ 2cs``.  Each server keeps ``2cs + (l_av − 2cs)/m`` of its
+    own requests and relays ``(l_av − 2cs)/m`` to every other server; all
+    loads stay ``l_av`` but communication is maximal among equilibria.
+    """
+    s, c, lav = _homogeneous_params(inst)
+    if not np.allclose(inst.loads, lav):
+        raise ValueError("the construction needs equal initial loads")
+    share = (lav - 2.0 * c * s) / inst.m
+    if share < 0:
+        raise ValueError("construction requires l_av ≥ 2·c·s")
+    m = inst.m
+    R = np.full((m, m), share)
+    np.fill_diagonal(R, 2.0 * c * s + share)
+    return AllocationState(inst, R)

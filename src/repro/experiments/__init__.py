@@ -1,0 +1,31 @@
+"""Experiment harness reproducing every table and figure of Section VI
+and the appendix."""
+
+from .common import (
+    LARGE_SIZES,
+    PAPER_AVG_LOADS,
+    PAPER_SIZES,
+    PEAK_TOTAL,
+    Setting,
+    make_instance,
+    paper_settings,
+)
+from .convergence import convergence_table, figure2_traces, iterations_to_tolerance
+from .rtt_validation import rtt_table
+from .selfishness import selfishness_ratio, selfishness_table
+
+__all__ = [
+    "Setting",
+    "make_instance",
+    "paper_settings",
+    "PAPER_SIZES",
+    "PAPER_AVG_LOADS",
+    "PEAK_TOTAL",
+    "LARGE_SIZES",
+    "convergence_table",
+    "figure2_traces",
+    "iterations_to_tolerance",
+    "selfishness_table",
+    "selfishness_ratio",
+    "rtt_table",
+]

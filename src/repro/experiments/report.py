@@ -1,0 +1,37 @@
+"""Plain-text table rendering in the style of the paper's tables."""
+
+from __future__ import annotations
+
+__all__ = ["format_grouped_table", "format_simple_table"]
+
+
+def format_simple_table(
+    title: str, headers: tuple[str, ...], rows: list[tuple[str, ...]]
+) -> str:
+    """Render a fixed-width text table with a title line."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    sep = "  "
+    lines = [title]
+    lines.append(sep.join(h.ljust(widths[k]) for k, h in enumerate(headers)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in rows:
+        lines.append(sep.join(cell.ljust(widths[k]) for k, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_grouped_table(
+    title: str, headers: tuple[str, ...], rows: list[tuple[str, ...]]
+) -> str:
+    """Like :func:`format_simple_table` but repeats the first column only
+    when it changes (the grouped look of Tables I–III)."""
+    out_rows: list[tuple[str, ...]] = []
+    last_group = None
+    for row in rows:
+        group = row[0]
+        shown = group if group != last_group else ""
+        out_rows.append((shown,) + tuple(row[1:]))
+        last_group = group
+    return format_simple_table(title, headers, out_rows)

@@ -1,0 +1,151 @@
+"""Cost-of-selfishness experiments — Table III of the paper.
+
+For every experimental cell the Nash equilibrium is approximated by
+best-response dynamics (terminating when all organizations change their
+distribution by less than 1 % in two consecutive rounds — Section VI-C)
+and compared against the cooperative optimum.  Rows are grouped exactly
+like Table III: {constant, uniform} speeds × {l_av ≤ 30, = 50, ≥ 200} ×
+{homogeneous c=20, PlanetLab}.
+
+Run as a module::
+
+    python -m repro.experiments.selfishness [--quick]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.game import best_response_dynamics
+from ..core.qp import solve_coordinate_descent
+from .common import Setting, make_instance, paper_settings
+from .report import format_grouped_table
+
+__all__ = ["selfishness_ratio", "selfishness_table", "RatioCell"]
+
+
+@dataclass
+class RatioCell:
+    """avg/max/std of NE/OPT ratios for one Table III row."""
+
+    speed_kind: str
+    load_band: str
+    network: str
+    average: float
+    maximum: float
+    std: float
+    samples: int
+
+
+def selfishness_ratio(setting: Setting, *, rng_seed: int = 11) -> float:
+    """``ΣCi`` at the (approximate) Nash equilibrium divided by the
+    cooperative optimum for one experimental cell."""
+    inst = make_instance(setting)
+    ne, _ = best_response_dynamics(inst, rng=rng_seed, tol_change=0.01)
+    opt = solve_coordinate_descent(inst)
+    c_opt = opt.total_cost()
+    if c_opt <= 0:
+        return 1.0
+    return max(1.0, ne.total_cost() / c_opt)
+
+
+def _load_band(avg: float) -> str:
+    if avg <= 30:
+        return "lav <= 30"
+    if avg <= 50:
+        return "lav = 50"
+    return "lav >= 200"
+
+
+def selfishness_table(
+    *,
+    sizes: tuple[int, ...] = (20, 30, 50, 100),
+    avg_loads: tuple[float, ...] = (10, 20, 50, 200, 1000),
+    repetitions: int = 1,
+    progress: bool = False,
+) -> list[RatioCell]:
+    """Compute the Table III grid.
+
+    The paper uses uniform and exponential load distributions over its
+    standard sizes; the peak distribution is excluded (a single owner has
+    nothing to be selfish against in the l_av bands)."""
+    buckets: dict[tuple[str, str, str], list[float]] = {}
+    for speed_kind in ("constant", "uniform"):
+        for setting in paper_settings(
+            sizes=sizes,
+            load_kinds=("uniform", "exponential"),
+            avg_loads=avg_loads,
+            speed_kind=speed_kind,
+            repetitions=repetitions,
+        ):
+            ratio = selfishness_ratio(setting)
+            key = (
+                speed_kind,
+                _load_band(setting.avg_load),
+                "cij = 20" if setting.network == "homogeneous" else "PL",
+            )
+            buckets.setdefault(key, []).append(ratio)
+            if progress:
+                print(f"  {speed_kind:<9} {setting.label():<58} -> {ratio:.4f}",
+                      flush=True)
+    order = {"lav <= 30": 0, "lav = 50": 1, "lav >= 200": 2}
+    cells = []
+    for (speed_kind, band, net), values in sorted(
+        buckets.items(), key=lambda kv: (kv[0][0], order[kv[0][1]], kv[0][2])
+    ):
+        arr = np.asarray(values)
+        cells.append(
+            RatioCell(
+                speed_kind=speed_kind,
+                load_band=band,
+                network=net,
+                average=float(arr.mean()),
+                maximum=float(arr.max()),
+                std=float(arr.std()),
+                samples=arr.shape[0],
+            )
+        )
+    return cells
+
+
+def render_table(cells: list[RatioCell]) -> str:
+    rows = [
+        (
+            f"{c.speed_kind} s_i",
+            c.load_band,
+            c.network,
+            f"{c.average:.3f}",
+            f"{c.maximum:.3f}",
+            f"{c.std:.3f}",
+        )
+        for c in cells
+    ]
+    return format_grouped_table(
+        "Cost of selfishness: ΣCi(NE) / ΣCi(OPT)",
+        ("speeds", "load band", "network", "avg", "max", "st. dev."),
+        rows,
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--repetitions", type=int, default=1)
+    args = parser.parse_args(argv)
+    if args.quick:
+        cells = selfishness_table(
+            sizes=(20, 50), avg_loads=(20, 50, 200), progress=True
+        )
+    else:
+        cells = selfishness_table(
+            repetitions=args.repetitions, progress=True
+        )
+    print(render_table(cells))
+
+
+if __name__ == "__main__":
+    main()

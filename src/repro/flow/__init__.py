@@ -1,0 +1,21 @@
+"""Min-cost flow substrate (appendix: negative-cycle removal)."""
+
+from .bellman_ford import bellman_ford, find_negative_cycle
+from .graph import ResidualGraph
+from .mincost import MinCostFlowResult, min_cost_flow
+from .transportation import (
+    relay_graph_negative_cycle,
+    remove_negative_cycles,
+    solve_transportation,
+)
+
+__all__ = [
+    "ResidualGraph",
+    "bellman_ford",
+    "find_negative_cycle",
+    "min_cost_flow",
+    "MinCostFlowResult",
+    "solve_transportation",
+    "remove_negative_cycles",
+    "relay_graph_negative_cycle",
+]

@@ -1,0 +1,84 @@
+"""Bellman–Ford shortest paths and negative-cycle detection.
+
+Used in two places:
+
+* detecting *negative cycles* in the error/transfer graph of Section IV-B —
+  a cycle of servers that effectively redirect requests to one another and
+  can be dismantled without changing any load;
+* computing initial potentials for the min-cost-flow solver when some arc
+  costs are negative.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bellman_ford", "find_negative_cycle"]
+
+
+def bellman_ford(
+    n: int,
+    edges: list[tuple[int, int, float]],
+    source: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shortest distances from ``source`` (or from a virtual super-source
+    connected to every vertex with cost 0 when ``source is None``).
+
+    Returns ``(dist, pred)``.  Raises ``ValueError`` when a negative cycle
+    is reachable — callers that want the cycle itself should use
+    :func:`find_negative_cycle`.
+    """
+    if source is None:
+        dist = np.zeros(n)
+    else:
+        dist = np.full(n, np.inf)
+        dist[source] = 0.0
+    pred = np.full(n, -1, dtype=np.int64)
+    for it in range(n):
+        changed = False
+        for u, v, w in edges:
+            if dist[u] + w < dist[v] - 1e-15:
+                dist[v] = dist[u] + w
+                pred[v] = u
+                changed = True
+        if not changed:
+            return dist, pred
+    # One more relaxation round succeeded after n iterations ⇒ negative cycle.
+    for u, v, w in edges:
+        if dist[u] + w < dist[v] - 1e-15:
+            raise ValueError("graph contains a negative cycle")
+    return dist, pred
+
+
+def find_negative_cycle(
+    n: int, edges: list[tuple[int, int, float]], tol: float = 1e-12
+) -> list[int] | None:
+    """Return the vertices of some negative-weight cycle, or ``None``.
+
+    Runs Bellman–Ford from a virtual source; if an edge still relaxes after
+    ``n`` rounds, walking ``pred`` pointers ``n`` times lands inside a
+    negative cycle, which is then extracted.
+    """
+    dist = np.zeros(n)
+    pred = np.full(n, -1, dtype=np.int64)
+    marked = -1
+    for _ in range(n):
+        marked = -1
+        for u, v, w in edges:
+            if dist[u] + w < dist[v] - tol:
+                dist[v] = dist[u] + w
+                pred[v] = u
+                marked = v
+        if marked == -1:
+            return None
+    # Walk back n steps to guarantee we are on the cycle.
+    x = marked
+    for _ in range(n):
+        x = int(pred[x])
+    cycle = [x]
+    cur = int(pred[x])
+    while cur != x:
+        cycle.append(cur)
+        cur = int(pred[cur])
+    cycle.reverse()
+    return cycle

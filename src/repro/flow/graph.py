@@ -1,0 +1,61 @@
+"""Adjacency-list residual graph used by the min-cost-flow solver."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ResidualGraph"]
+
+
+class ResidualGraph:
+    """A directed graph with residual arcs for augmenting-path algorithms.
+
+    Every arc is stored together with its reverse (capacity 0) so that
+    pushing flow is an O(1) update of two mirrored entries.  Capacities and
+    costs are floats — the transportation instances built from fractional
+    allocations are inherently real-valued.
+    """
+
+    __slots__ = ("n", "head", "to", "next_arc", "cap", "cost", "arc_count")
+
+    def __init__(self, n: int, max_arcs: int):
+        self.n = n
+        size = 2 * max_arcs
+        self.head = np.full(n, -1, dtype=np.int64)
+        self.to = np.empty(size, dtype=np.int64)
+        self.next_arc = np.empty(size, dtype=np.int64)
+        self.cap = np.empty(size, dtype=np.float64)
+        self.cost = np.empty(size, dtype=np.float64)
+        self.arc_count = 0
+
+    def add_edge(self, u: int, v: int, capacity: float, cost: float) -> int:
+        """Add arc ``u → v``; returns its index (reverse arc is ``idx ^ 1``)."""
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        idx = self.arc_count
+        if idx + 2 > self.to.shape[0]:
+            raise IndexError("residual graph arc budget exceeded")
+        self.to[idx] = v
+        self.cap[idx] = capacity
+        self.cost[idx] = cost
+        self.next_arc[idx] = self.head[u]
+        self.head[u] = idx
+        ridx = idx + 1
+        self.to[ridx] = u
+        self.cap[ridx] = 0.0
+        self.cost[ridx] = -cost
+        self.next_arc[ridx] = self.head[v]
+        self.head[v] = ridx
+        self.arc_count += 2
+        return idx
+
+    def arcs_from(self, u: int):
+        """Iterate over arc indices leaving ``u`` (including residuals)."""
+        e = self.head[u]
+        while e != -1:
+            yield int(e)
+            e = self.next_arc[e]
+
+    def flow_on(self, arc: int) -> float:
+        """Flow currently pushed on a forward arc = residual of its mirror."""
+        return float(self.cap[arc ^ 1])

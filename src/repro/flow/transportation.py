@@ -1,0 +1,130 @@
+"""Negative-cycle removal via the appendix's transportation reduction.
+
+A *negative cycle* in a partial solution is a sequence of servers that in
+effect relay requests to one another; dismantling it keeps every server's
+load intact while strictly reducing communication time.  The appendix
+removes all of them at once with a min-cost max-flow instance:
+
+* front vertex ``i_f`` for every server, supplied with
+  ``out(ρ', i) = Σ_{j≠i} r_ij`` (requests ``i`` relays away);
+* back vertex ``j_b`` demanding ``in(ρ', j) = Σ_{i≠j} r_ij`` (foreign
+  requests ``j`` executes);
+* arcs ``i_f → j_b`` with cost ``c_ij`` and infinite capacity.
+
+The optimal flow re-wires who relays to whom at minimal total latency;
+self-executed requests ``r_ii`` are untouched.  Afterwards no negative
+cycle can remain (one would contradict flow optimality).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.state import AllocationState
+from .bellman_ford import find_negative_cycle
+from .graph import ResidualGraph
+from .mincost import min_cost_flow
+
+__all__ = [
+    "solve_transportation",
+    "remove_negative_cycles",
+    "relay_graph_negative_cycle",
+]
+
+
+def solve_transportation(
+    supply: np.ndarray, demand: np.ndarray, cost: np.ndarray, *, eps: float = 1e-9
+) -> np.ndarray:
+    """Solve a dense transportation problem: move ``supply[i]`` units from
+    each source to meet ``demand[j]`` at each sink, minimizing
+    ``Σ f_ij · cost[i, j]``.  Supplies and demands must balance.
+
+    Returns the flow matrix ``f``.
+    """
+    supply = np.asarray(supply, dtype=np.float64)
+    demand = np.asarray(demand, dtype=np.float64)
+    cost = np.asarray(cost, dtype=np.float64)
+    ns, nd = supply.shape[0], demand.shape[0]
+    if cost.shape != (ns, nd):
+        raise ValueError("cost matrix shape mismatch")
+    total = supply.sum()
+    if not np.isclose(total, demand.sum(), rtol=1e-9, atol=1e-6):
+        raise ValueError("supply and demand must balance")
+    if total <= eps:
+        return np.zeros((ns, nd))
+
+    src_idx = np.flatnonzero(supply > eps)
+    dst_idx = np.flatnonzero(demand > eps)
+    n = 2 + src_idx.size + dst_idx.size
+    S, T = 0, 1
+    g = ResidualGraph(n, src_idx.size + dst_idx.size + src_idx.size * dst_idx.size)
+    arc_of: dict[tuple[int, int], int] = {}
+    for a, i in enumerate(src_idx):
+        g.add_edge(S, 2 + a, float(supply[i]), 0.0)
+    for b, j in enumerate(dst_idx):
+        g.add_edge(2 + src_idx.size + b, T, float(demand[j]), 0.0)
+    for a, i in enumerate(src_idx):
+        for b, j in enumerate(dst_idx):
+            if np.isfinite(cost[i, j]):
+                arc = g.add_edge(2 + a, 2 + src_idx.size + b, np.inf, float(cost[i, j]))
+                arc_of[(int(i), int(j))] = arc
+
+    res = min_cost_flow(g, S, T, max_flow=float(total), eps=eps)
+    if res.flow < total - max(1e-6, 1e-9 * total):
+        raise ValueError("transportation infeasible (disconnected by inf costs)")
+    f = np.zeros((ns, nd))
+    for (i, j), arc in arc_of.items():
+        f[i, j] = g.flow_on(arc)
+    return f
+
+
+def remove_negative_cycles(state: AllocationState) -> float:
+    """Re-wire all relays of the current allocation at minimum communication
+    cost (appendix reduction).  Loads are preserved exactly; the return
+    value is the (non-negative) communication cost saved."""
+    inst = state.inst
+    R = state.R
+    m = inst.m
+    diag = np.diag(R).copy()
+    off = R.copy()
+    np.fill_diagonal(off, 0.0)
+    out_amt = off.sum(axis=1)  # out(ρ', i)
+    in_amt = off.sum(axis=0)  # in(ρ', j)
+    if out_amt.sum() <= 1e-12:
+        return 0.0
+    before = float((inst.latency * R).sum())
+    # Only i ≠ j arcs exist in the appendix construction: relaying "to
+    # yourself" is not relaying (self-executed requests are the diagonal,
+    # handled separately).
+    cost = inst.latency.copy()
+    np.fill_diagonal(cost, np.inf)
+    flow = solve_transportation(out_amt, in_amt, cost)
+    new_R = flow
+    new_R[np.arange(m), np.arange(m)] += diag
+    after = float((inst.latency * new_R).sum())
+    state.R = new_R
+    state.refresh_loads()
+    return before - after
+
+
+def relay_graph_negative_cycle(state: AllocationState) -> list[int] | None:
+    """Directly search the relay graph for a negative cycle (Section IV-B
+    definition): arc ``i → j`` with weight ``+c_ij`` when ``i`` relays its
+    own requests to ``j`` (``dir = 1``) and weight ``−c_ji`` when ``i``
+    executes requests owned by ``j`` that it could hand back (``dir = −1``).
+    Returns the server cycle or ``None``."""
+    R = state.R
+    m = state.inst.m
+    c = state.inst.latency
+    edges: list[tuple[int, int, float]] = []
+    eps = 1e-9
+    for i in range(m):
+        for j in range(m):
+            if i == j:
+                continue
+            if R[i, j] > eps:
+                # i's own requests currently at j: j could return them to i
+                # (dir = -1, gain c_ij) or i is sending them (dir = +1).
+                edges.append((i, j, float(c[i, j])))
+                edges.append((j, i, -float(c[i, j])))
+    return find_negative_cycle(m, edges)

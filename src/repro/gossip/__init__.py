@@ -1,0 +1,5 @@
+"""Gossip-based load dissemination substrate (Section IV)."""
+
+from .protocol import GossipNetwork
+
+__all__ = ["GossipNetwork"]

@@ -1,0 +1,33 @@
+"""Network substrate: topologies, latency completion, RTT models and
+latency monitoring."""
+
+from .latency import complete_latency_matrix, floyd_warshall, is_metric, symmetrize
+from .monitoring import VivaldiEstimator
+from .rtt_model import BackgroundLoadExperiment, DeviationRow, RttModel
+from .topology import homogeneous_latency, planetlab_like_latency, random_speeds
+from .trust import (
+    is_trust_connected,
+    k_nearest_trust,
+    random_trust,
+    restrict_latency,
+    ring_trust,
+)
+
+__all__ = [
+    "floyd_warshall",
+    "complete_latency_matrix",
+    "is_metric",
+    "symmetrize",
+    "homogeneous_latency",
+    "planetlab_like_latency",
+    "random_speeds",
+    "RttModel",
+    "BackgroundLoadExperiment",
+    "DeviationRow",
+    "VivaldiEstimator",
+    "restrict_latency",
+    "k_nearest_trust",
+    "random_trust",
+    "ring_trust",
+    "is_trust_connected",
+]

@@ -1,0 +1,98 @@
+"""Latency monitoring via network coordinates (Vivaldi-style).
+
+The paper assumes pairwise latencies are known, pointing to the latency-
+monitoring literature ([9], [32]) for how to obtain them.  This module
+implements that substrate: a decentralized spring-relaxation embedding
+(Vivaldi, 2-D + height) that lets every node estimate the RTT to every
+other node from a handful of direct measurements.  The MinE optimizer can
+then run on *estimated* latencies — an ablation in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VivaldiEstimator"]
+
+
+class VivaldiEstimator:
+    """Decentralized network-coordinate latency estimation.
+
+    Each node keeps a 2-D coordinate plus a non-negative *height*
+    (modelling access-link delay); the predicted RTT between ``i`` and
+    ``j`` is ``‖x_i − x_j‖ + h_i + h_j``.  Nodes repeatedly sample the true
+    RTT to random peers and move their coordinate along the error spring.
+    """
+
+    def __init__(
+        self,
+        rtt: np.ndarray,
+        *,
+        rng: np.random.Generator | int | None = None,
+        step: float = 0.25,
+    ):
+        rtt = np.asarray(rtt, dtype=np.float64)
+        if rtt.ndim != 2 or rtt.shape[0] != rtt.shape[1]:
+            raise ValueError("rtt must be a square matrix")
+        self.rtt = rtt
+        self.m = rtt.shape[0]
+        self.rng = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        self.step = step
+        scale = float(np.median(rtt[rtt > 0])) if np.any(rtt > 0) else 1.0
+        self.coords = self.rng.normal(0.0, 0.1 * scale, size=(self.m, 2))
+        self.heights = np.full(self.m, 0.05 * scale)
+
+    # ------------------------------------------------------------------
+    def predict(self, i: int, j: int) -> float:
+        """Predicted RTT between two nodes from current coordinates."""
+        if i == j:
+            return 0.0
+        d = float(np.linalg.norm(self.coords[i] - self.coords[j]))
+        return d + self.heights[i] + self.heights[j]
+
+    def predicted_matrix(self) -> np.ndarray:
+        diff = self.coords[:, None, :] - self.coords[None, :, :]
+        d = np.sqrt((diff**2).sum(axis=-1))
+        est = d + self.heights[:, None] + self.heights[None, :]
+        np.fill_diagonal(est, 0.0)
+        return est
+
+    # ------------------------------------------------------------------
+    def observe(self, i: int, j: int) -> None:
+        """One measurement: node ``i`` pings ``j`` and adjusts its spring."""
+        if i == j:
+            return
+        measured = float(self.rtt[i, j])
+        predicted = self.predict(i, j)
+        err = predicted - measured
+        direction = self.coords[i] - self.coords[j]
+        norm = float(np.linalg.norm(direction))
+        if norm < 1e-12:
+            direction = self.rng.normal(size=2)
+            norm = float(np.linalg.norm(direction))
+        unit = direction / norm
+        # Move along the spring; split the residual with the height term.
+        self.coords[i] -= self.step * err * 0.8 * unit
+        self.heights[i] = max(0.0, self.heights[i] - self.step * err * 0.2)
+
+    def round(self, probes_per_node: int = 4) -> None:
+        """Every node probes ``probes_per_node`` random peers once."""
+        for i in range(self.m):
+            peers = self.rng.integers(0, self.m, size=probes_per_node)
+            for j in peers:
+                self.observe(i, int(j))
+
+    def fit(self, rounds: int = 50, probes_per_node: int = 4) -> np.ndarray:
+        """Run the relaxation and return the estimated latency matrix."""
+        for _ in range(rounds):
+            self.round(probes_per_node)
+        return self.predicted_matrix()
+
+    def relative_error(self) -> float:
+        """Median relative prediction error over all distinct pairs."""
+        est = self.predicted_matrix()
+        mask = ~np.eye(self.m, dtype=bool) & (self.rtt > 0)
+        rel = np.abs(est[mask] - self.rtt[mask]) / self.rtt[mask]
+        return float(np.median(rel))

@@ -1,0 +1,104 @@
+"""Topology generators for the two network kinds of Section VI-A.
+
+* :func:`homogeneous_latency` — equal delay ``c_ij = 20`` between every
+  pair (the paper's homogeneous setting).
+* :func:`planetlab_like_latency` — a synthetic stand-in for the iPlane
+  PlanetLab measurements (the original dataset is no longer available).
+  Nodes are placed in geographic clusters ("sites") on a 2-D plane;
+  pairwise RTT is a propagation term proportional to distance plus a
+  site-local access delay and log-normal jitter.  A fraction of the
+  entries is then deleted and re-derived by shortest-path completion —
+  reproducing the paper's own data-preparation step and yielding the same
+  qualitative structure: small intra-cluster RTTs (~1–10 ms), large
+  inter-cluster RTTs (~20–200 ms), heterogeneous and metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .latency import complete_latency_matrix, symmetrize
+
+__all__ = ["homogeneous_latency", "planetlab_like_latency", "random_speeds"]
+
+
+def homogeneous_latency(m: int, delay: float = 20.0) -> np.ndarray:
+    """Constant-latency matrix: ``c_ij = delay`` for ``i ≠ j``."""
+    c = np.full((m, m), float(delay))
+    np.fill_diagonal(c, 0.0)
+    return c
+
+
+def planetlab_like_latency(
+    m: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    clusters: int | None = None,
+    extent_ms: float = 150.0,
+    access_ms: tuple[float, float] = (0.5, 3.0),
+    jitter_sigma: float = 0.15,
+    missing_fraction: float = 0.2,
+) -> np.ndarray:
+    """Generate a heterogeneous PlanetLab-like RTT matrix in milliseconds.
+
+    Parameters
+    ----------
+    m:
+        Number of nodes.
+    clusters:
+        Number of geographic sites (default ``max(2, m // 12)`` — PlanetLab
+        hosts a handful of nodes per site).
+    extent_ms:
+        Propagation delay across the full map diagonal (~150 ms matches
+        intercontinental RTTs).
+    access_ms:
+        Range of per-node access-link delays added to every path.
+    jitter_sigma:
+        Log-normal multiplicative jitter on each measured pair.
+    missing_fraction:
+        Fraction of pairs "not measured", filled by shortest-path
+        completion as in the paper.
+    """
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    if m < 2:
+        return np.zeros((m, m))
+    k = clusters if clusters is not None else max(2, m // 12)
+    centers = rng.uniform(0.0, 1.0, size=(k, 2))
+    assign = rng.integers(0, k, size=m)
+    pos = centers[assign] + rng.normal(0.0, 0.02, size=(m, 2))
+    access = rng.uniform(access_ms[0], access_ms[1], size=m)
+
+    diff = pos[:, None, :] - pos[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=-1))
+    rtt = dist / np.sqrt(2.0) * extent_ms + access[:, None] + access[None, :]
+    jitter = rng.lognormal(0.0, jitter_sigma, size=(m, m))
+    rtt = rtt * jitter
+    rtt = symmetrize(rtt)
+    np.fill_diagonal(rtt, 0.0)
+
+    if missing_fraction > 0:
+        mask = rng.uniform(size=(m, m)) < missing_fraction
+        mask = np.triu(mask, 1)
+        mask = mask | mask.T
+        rtt_missing = rtt.copy()
+        rtt_missing[mask] = np.inf
+        np.fill_diagonal(rtt_missing, 0.0)
+        try:
+            rtt = complete_latency_matrix(rtt_missing)
+        except ValueError:
+            # Dropping edges disconnected the graph (possible for tiny m):
+            # keep the fully-measured matrix instead.
+            pass
+    return rtt
+
+
+def random_speeds(
+    m: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    low: float = 1.0,
+    high: float = 5.0,
+) -> np.ndarray:
+    """Server speeds uniform on ``[low, high]`` (Section VI-A uses [1, 5])."""
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    return rng.uniform(low, high, size=m)

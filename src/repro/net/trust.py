@@ -1,0 +1,107 @@
+"""Neighbour-restricted relaying — the trust model of Section II.
+
+"If we set some of the communication delays to infinity, we restrict the
+basic model to the case when each organization is allowed to relay its
+requests only to the given subset of the servers (its neighbors), which
+models e.g. the trust relationship."
+
+This module builds such restrictions: given a base latency matrix and a
+trust graph (who may relay to whom), non-edges become ``inf``.  All
+solvers in :mod:`repro.core` already honour infinite latencies (the
+water-fill excludes them, Algorithm 1 never moves load profitably across
+them), so restricted instances drop straight into the existing pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "restrict_latency",
+    "k_nearest_trust",
+    "random_trust",
+    "ring_trust",
+    "is_trust_connected",
+]
+
+
+def restrict_latency(latency: np.ndarray, allowed: np.ndarray) -> np.ndarray:
+    """Set ``c_ij = inf`` wherever relaying ``i → j`` is not allowed.
+
+    ``allowed`` is a boolean matrix; the diagonal is always allowed (an
+    organization may run its own requests).
+    """
+    latency = np.asarray(latency, dtype=np.float64)
+    allowed = np.asarray(allowed, dtype=bool)
+    if allowed.shape != latency.shape:
+        raise ValueError("allowed mask must match the latency matrix")
+    out = np.where(allowed, latency, np.inf)
+    np.fill_diagonal(out, 0.0)
+    return out
+
+
+def k_nearest_trust(latency: np.ndarray, k: int) -> np.ndarray:
+    """Each organization trusts its ``k`` lowest-latency peers (plus
+    itself) — the CoralCDN-style proximity constraint."""
+    m = latency.shape[0]
+    if not 0 <= k < m:
+        raise ValueError(f"k must be in [0, {m - 1}]")
+    allowed = np.zeros((m, m), dtype=bool)
+    for i in range(m):
+        order = np.argsort(latency[i])
+        picked = [j for j in order if j != i][:k]
+        allowed[i, picked] = True
+        allowed[i, i] = True
+    return allowed
+
+
+def random_trust(
+    m: int,
+    edge_probability: float,
+    *,
+    rng: np.random.Generator | int | None = None,
+    symmetric: bool = True,
+) -> np.ndarray:
+    """Erdős–Rényi trust graph (each ordered pair allowed independently
+    with the given probability; symmetrized by default)."""
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    allowed = rng.uniform(size=(m, m)) < edge_probability
+    if symmetric:
+        allowed = allowed | allowed.T
+    np.fill_diagonal(allowed, True)
+    return allowed
+
+
+def ring_trust(m: int, hops: int = 1) -> np.ndarray:
+    """Everyone trusts their ``hops`` ring neighbours on each side — the
+    minimal connected restriction."""
+    if hops < 1:
+        raise ValueError("hops must be >= 1")
+    allowed = np.zeros((m, m), dtype=bool)
+    idx = np.arange(m)
+    for d in range(1, hops + 1):
+        allowed[idx, (idx + d) % m] = True
+        allowed[idx, (idx - d) % m] = True
+    np.fill_diagonal(allowed, True)
+    return allowed
+
+
+def is_trust_connected(allowed: np.ndarray) -> bool:
+    """Whether load can (transitively) spread between any two servers.
+
+    Note that relaying is single-hop in the model — this checks the
+    weaker property that the *balancing process* (repeated pairwise
+    exchanges returning requests to owners) can equalize load globally.
+    """
+    m = allowed.shape[0]
+    seen = np.zeros(m, dtype=bool)
+    stack = [0]
+    seen[0] = True
+    sym = allowed | allowed.T
+    while stack:
+        u = stack.pop()
+        for v in np.flatnonzero(sym[u]):
+            if not seen[v]:
+                seen[v] = True
+                stack.append(int(v))
+    return bool(seen.all())

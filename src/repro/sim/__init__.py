@@ -1,0 +1,17 @@
+"""Discrete-event simulation substrate validating the analytic model."""
+
+from .events import Environment, Event, Process, Timeout
+from .runner import SimulationReport, simulate_snapshot, simulate_stream
+from .server import Request, SimServer
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "SimServer",
+    "Request",
+    "SimulationReport",
+    "simulate_snapshot",
+    "simulate_stream",
+]

@@ -1,0 +1,140 @@
+"""A small generator-based discrete-event simulation engine.
+
+The paper's model makes an analytic claim — with ``l_j`` requests on
+server ``j`` and no control over processing order, the expected handling
+time of a request is ``l_j / (2 s_j)`` — that the request-processing layer
+in :mod:`repro.sim.runner` validates empirically.  This module is the
+engine underneath: a classic event-heap simulator with simpy-style
+generator processes (``yield env.timeout(dt)``), written from scratch
+because no DES library is available offline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator
+
+__all__ = ["Environment", "Timeout", "Process", "Event"]
+
+
+class Event:
+    """A one-shot event that processes can wait on."""
+
+    __slots__ = ("env", "_callbacks", "triggered", "value")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for cb in self._callbacks:
+            self.env._schedule_callback(cb, self)
+        self._callbacks.clear()
+        return self
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            self.env._schedule_callback(cb, self)
+        else:
+            self._callbacks.append(cb)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units in the future."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError("negative delay")
+        super().__init__(env)
+        env._schedule_at(env.now + delay, self, value)
+
+
+class Process(Event):
+    """A generator driven by the events it yields; itself an event that
+    triggers (with the generator's return value) when the generator ends."""
+
+    __slots__ = ("_gen",)
+
+    def __init__(self, env: "Environment", gen: Generator[Event, Any, Any]):
+        super().__init__(env)
+        self._gen = gen
+        # Bootstrap on a zero-delay event so creation order is preserved.
+        boot = Timeout(env, 0.0)
+        boot.add_callback(self._resume)
+
+    def _resume(self, ev: Event) -> None:
+        try:
+            target = self._gen.send(ev.value)
+        except StopIteration as stop:
+            self.succeed(getattr(stop, "value", None))
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"processes must yield Event instances, got {type(target)!r}"
+            )
+        target.add_callback(self._resume)
+
+
+class Environment:
+    """The event loop: a time-ordered heap of pending events."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Event, Any]] = []
+        self._counter = itertools.count()
+        self._pending_callbacks: list[tuple[Callable[[Event], None], Event]] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def _schedule_at(self, time: float, event: Event, value: Any = None) -> None:
+        heapq.heappush(self._heap, (time, next(self._counter), event, value))
+
+    def _schedule_callback(
+        self, cb: Callable[[Event], None], event: Event
+    ) -> None:
+        self._pending_callbacks.append((cb, event))
+
+    # ------------------------------------------------------------------
+    # User API
+    # ------------------------------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        return Process(self, gen)
+
+    def run(self, until: float | None = None) -> None:
+        """Execute events in time order until the heap is empty or the
+        clock passes ``until``."""
+        while True:
+            self._drain_callbacks()
+            if not self._heap:
+                break
+            time, _, event, value = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            if event.triggered:
+                continue
+            self.now = time
+            event.succeed(value)
+        self._drain_callbacks()
+
+    def _drain_callbacks(self) -> None:
+        while self._pending_callbacks:
+            cb, ev = self._pending_callbacks.pop(0)
+            cb(ev)

@@ -1,0 +1,73 @@
+"""Server and request actors for the request-processing simulation."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from .events import Environment, Event
+
+__all__ = ["Request", "SimServer"]
+
+
+@dataclass
+class Request:
+    """One simulated request travelling through the system."""
+
+    owner: int
+    server: int
+    size: float = 1.0
+    t_submit: float = 0.0
+    t_arrive: float = field(default=float("nan"))
+    t_complete: float = field(default=float("nan"))
+
+    @property
+    def latency(self) -> float:
+        """Observed handling latency: network delay + queueing + service
+        (the quantity the paper's ``Ci`` averages)."""
+        return self.t_complete - self.t_submit
+
+
+class SimServer:
+    """A FIFO server processing requests at a fixed speed.
+
+    Service of a request of ``size`` takes ``size / speed`` time units —
+    the paper's constant-throughput assumption.
+    """
+
+    def __init__(self, env: Environment, index: int, speed: float):
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.env = env
+        self.index = index
+        self.speed = speed
+        self.queue: deque[Request] = deque()
+        self.completed: list[Request] = []
+        self.busy_until = 0.0
+        self._wakeup: Event | None = None
+        env.process(self._run())
+
+    # ------------------------------------------------------------------
+    def submit(self, req: Request) -> None:
+        """Enqueue an arriving request (call at its arrival time)."""
+        req.t_arrive = self.env.now
+        self.queue.append(req)
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+            self._wakeup = None
+
+    @property
+    def backlog(self) -> int:
+        return len(self.queue)
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        while True:
+            if not self.queue:
+                self._wakeup = self.env.event()
+                yield self._wakeup
+                continue
+            req = self.queue.popleft()
+            yield self.env.timeout(req.size / self.speed)
+            req.t_complete = self.env.now
+            self.completed.append(req)

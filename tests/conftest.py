@@ -1,0 +1,55 @@
+"""Shared fixtures and instance factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AllocationState, Instance
+from repro.net import homogeneous_latency, planetlab_like_latency
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_random_instance(
+    m: int,
+    rng: np.random.Generator,
+    *,
+    network: str = "planetlab",
+    load_scale: float = 50.0,
+    allow_zero_loads: bool = False,
+) -> Instance:
+    """A random instance in the paper's parameter ranges."""
+    speeds = rng.uniform(1.0, 5.0, size=m)
+    loads = rng.exponential(load_scale, size=m)
+    if not allow_zero_loads:
+        loads = np.maximum(loads, 1e-3)
+    if network == "planetlab":
+        latency = planetlab_like_latency(m, rng=rng)
+    else:
+        latency = homogeneous_latency(m, 20.0)
+    return Instance(speeds, loads, latency)
+
+
+def random_state(inst: Instance, rng: np.random.Generator) -> AllocationState:
+    """A random feasible allocation (Dirichlet rows)."""
+    rho = rng.dirichlet(np.ones(inst.m), size=inst.m)
+    return AllocationState.from_fractions(inst, rho)
+
+
+@pytest.fixture
+def small_instance(rng) -> Instance:
+    return make_random_instance(6, rng)
+
+
+@pytest.fixture
+def medium_instance(rng) -> Instance:
+    return make_random_instance(25, rng)
+
+
+@pytest.fixture
+def homogeneous_instance() -> Instance:
+    return Instance.homogeneous(8, speed=2.0, delay=5.0, loads=100.0)

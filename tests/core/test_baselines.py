@@ -1,0 +1,139 @@
+"""Tests for the baseline allocation policies."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.baselines import (
+    all_baselines,
+    makespan,
+    makespan_greedy,
+    nearest_server,
+    proportional_speed,
+    round_robin,
+)
+from repro.core.qp import solve_coordinate_descent
+
+from ..conftest import make_random_instance
+
+
+class TestPolicies:
+    def test_round_robin_uniform(self, small_instance):
+        st = round_robin(small_instance)
+        m = small_instance.m
+        assert np.allclose(st.fractions()[small_instance.loads > 0], 1.0 / m)
+
+    def test_nearest_server_is_local_with_zero_diagonal(self, small_instance):
+        st = nearest_server(small_instance)
+        # c_ii = 0 is always the minimum, so nearest == local execution
+        assert np.allclose(st.R, np.diag(small_instance.loads))
+
+    def test_proportional_speed_equalizes_weighted_load(self, rng):
+        inst = make_random_instance(7, rng)
+        st = proportional_speed(inst)
+        ratio = st.loads / inst.speeds
+        assert ratio.max() - ratio.min() < 1e-9 * max(1.0, ratio.max())
+
+    def test_makespan_greedy_feasible(self, rng):
+        inst = make_random_instance(6, rng)
+        st = makespan_greedy(inst)
+        st.check_invariants()
+
+    def test_all_baselines_keys(self, small_instance):
+        d = all_baselines(small_instance)
+        assert set(d) == {
+            "round-robin",
+            "nearest-server",
+            "proportional-speed",
+            "makespan-greedy",
+        }
+
+
+class TestDominance:
+    def test_optimum_beats_every_baseline(self, rng):
+        """The delay-aware optimum never loses to any baseline on ΣCi."""
+        for _ in range(5):
+            inst = make_random_instance(10, rng)
+            opt_cost = solve_coordinate_descent(inst).total_cost()
+            for name, st in all_baselines(inst).items():
+                assert opt_cost <= st.total_cost() + 1e-6, name
+
+    def test_proportional_wins_without_latency(self, rng):
+        """With zero latency the congestion-only baseline IS optimal."""
+        m = 6
+        inst = repro.Instance(
+            rng.uniform(1, 5, m), rng.uniform(10, 100, m), np.zeros((m, m))
+        )
+        opt = solve_coordinate_descent(inst).total_cost()
+        assert proportional_speed(inst).total_cost() == pytest.approx(
+            opt, rel=1e-9
+        )
+
+    def test_nearest_wins_with_huge_latency(self, rng):
+        """With overwhelming latency, staying local IS optimal."""
+        m = 5
+        inst = repro.Instance(
+            rng.uniform(1, 5, m),
+            rng.uniform(10, 30, m),
+            repro.homogeneous_latency(m, 1e9),
+        )
+        opt = solve_coordinate_descent(inst).total_cost()
+        assert nearest_server(inst).total_cost() == pytest.approx(opt, rel=1e-9)
+
+
+class TestMakespan:
+    def test_makespan_of_local_execution(self):
+        inst = repro.Instance(
+            np.array([1.0, 2.0]),
+            np.array([10.0, 10.0]),
+            np.array([[0.0, 3.0], [3.0, 0.0]]),
+        )
+        st = repro.AllocationState.initial(inst)
+        assert makespan(inst, st) == pytest.approx(10.0)  # slower server
+
+    def test_makespan_counts_arrival_latency(self):
+        inst = repro.Instance(
+            np.array([1.0, 1.0]),
+            np.array([10.0, 0.0]),
+            np.array([[0.0, 7.0], [7.0, 0.0]]),
+        )
+        R = np.array([[0.0, 10.0], [0.0, 0.0]])
+        st = repro.AllocationState(inst, R)
+        assert makespan(inst, st) == pytest.approx(7.0 + 10.0)
+
+    def test_greedy_improves_makespan_over_local_on_peak(self, rng):
+        m = 6
+        loads = np.zeros(m)
+        loads[2] = 600.0
+        inst = repro.Instance(
+            rng.uniform(1, 5, m), loads, repro.planetlab_like_latency(m, rng=rng)
+        )
+        local = makespan(inst, repro.AllocationState.initial(inst))
+        greedy = makespan(inst, makespan_greedy(inst))
+        assert greedy < local
+
+    def test_objectives_rank_policies_differently(self, rng):
+        """The paper's Cmax-vs-ΣCi discussion: each optimizer wins on its
+        own objective.  The ΣCi optimum strictly beats the makespan
+        heuristic on ΣCi, while the heuristic stays competitive (within a
+        small factor) on makespan."""
+        worst_ms_ratio = 0.0
+        strict_cost_win = False
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            m = 8
+            inst = repro.Instance(
+                local.uniform(1, 5, m),
+                local.exponential(80, m),
+                repro.planetlab_like_latency(m, rng=local),
+            )
+            opt = solve_coordinate_descent(inst)
+            greedy = makespan_greedy(inst)
+            if greedy.total_cost() > opt.total_cost() * (1 + 1e-6):
+                strict_cost_win = True
+            worst_ms_ratio = max(
+                worst_ms_ratio,
+                makespan(inst, greedy) / max(makespan(inst, opt), 1e-12),
+            )
+        assert strict_cost_win
+        assert worst_ms_ratio < 1.5

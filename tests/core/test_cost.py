@@ -1,0 +1,164 @@
+"""Tests for the cost functions and the Section III QP construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AllocationState, Instance
+from repro.core.cost import (
+    build_qp,
+    cost_gradient,
+    per_org_cost,
+    qp_objective,
+    selfish_marginal,
+    server_loads,
+    total_cost,
+)
+
+from ..conftest import make_random_instance, random_state
+
+
+class TestTotalCost:
+    def test_local_execution_only(self):
+        """With everything run locally there is no communication cost."""
+        inst = Instance.homogeneous(3, speed=2.0, delay=20.0, loads=10.0)
+        st_ = AllocationState.initial(inst)
+        # ΣCi = Σ l²/2s = 3 * 100/4
+        assert st_.total_cost() == pytest.approx(75.0)
+
+    def test_communication_term(self):
+        inst = Instance.homogeneous(2, speed=1.0, delay=5.0, loads=4.0)
+        R = np.array([[0.0, 4.0], [0.0, 4.0]])  # all on server 1
+        st_ = AllocationState(inst, R)
+        # congestion 8²/2 = 32, communication 4*5 = 20
+        assert st_.total_cost() == pytest.approx(52.0)
+
+    def test_per_org_sums_to_total(self, rng):
+        inst = make_random_instance(7, rng)
+        st_ = random_state(inst, rng)
+        assert per_org_cost(inst, st_.R).sum() == pytest.approx(
+            total_cost(inst, st_.R), rel=1e-12
+        )
+
+    def test_eq1_direct_evaluation(self, rng):
+        """Ci matches a literal transcription of eq. (1)."""
+        inst = make_random_instance(5, rng)
+        st_ = random_state(inst, rng)
+        l = server_loads(st_.R)
+        expected = np.zeros(inst.m)
+        for i in range(inst.m):
+            for j in range(inst.m):
+                expected[i] += st_.R[i, j] * (
+                    l[j] / (2 * inst.speeds[j]) + inst.latency[i, j]
+                )
+        assert np.allclose(per_org_cost(inst, st_.R), expected)
+
+
+class TestGradient:
+    def test_gradient_matches_finite_differences(self, rng):
+        inst = make_random_instance(4, rng)
+        st_ = random_state(inst, rng)
+        grad = cost_gradient(inst, st_.R)
+        eps = 1e-5
+        for i in range(inst.m):
+            for j in range(inst.m):
+                Rp = st_.R.copy()
+                Rp[i, j] += eps
+                Rm = st_.R.copy()
+                Rm[i, j] -= eps
+                fd = (total_cost(inst, Rp) - total_cost(inst, Rm)) / (2 * eps)
+                assert grad[i, j] == pytest.approx(fd, rel=1e-4, abs=1e-4)
+
+    def test_selfish_marginal_matches_finite_differences(self, rng):
+        inst = make_random_instance(4, rng)
+        st_ = random_state(inst, rng)
+        i = 2
+        marg = selfish_marginal(inst, st_.R, i)
+        eps = 1e-5
+        for j in range(inst.m):
+            Rp = st_.R.copy()
+            Rp[i, j] += eps
+            Rm = st_.R.copy()
+            Rm[i, j] -= eps
+            fd = (
+                per_org_cost(inst, Rp)[i] - per_org_cost(inst, Rm)[i]
+            ) / (2 * eps)
+            assert marg[j] == pytest.approx(fd, rel=1e-4, abs=1e-4)
+
+
+class TestQpForm:
+    def test_q_matrix_structure_figure1(self):
+        """Q has the block-upper-triangular structure of Figure 1: only
+        entries sharing the destination column are non-zero, diagonal
+        n_i²/2s_j, above-diagonal n_i n_k/s_j."""
+        inst = Instance(
+            np.array([1.0, 2.0]), np.array([3.0, 4.0]), np.array([[0.0, 1.0], [1.0, 0.0]])
+        )
+        Q, b, A = build_qp(inst)
+        m = 2
+        for i in range(m):
+            for j in range(m):
+                for k in range(m):
+                    for l in range(m):
+                        q = Q[i * m + j, k * m + l]
+                        if j == l and i < k:
+                            assert q == pytest.approx(
+                                inst.loads[i] * inst.loads[k] / inst.speeds[j]
+                            )
+                        elif j == l and i == k:
+                            assert q == pytest.approx(
+                                inst.loads[i] ** 2 / (2 * inst.speeds[j])
+                            )
+                        else:
+                            assert q == 0.0
+        # b_{(i,j)} = c_ij n_i
+        assert b[0 * m + 1] == pytest.approx(1.0 * 3.0)
+        assert b[1 * m + 0] == pytest.approx(1.0 * 4.0)
+
+    def test_constraint_matrix_eq6(self):
+        inst = Instance.homogeneous(3, loads=1.0)
+        _, _, A = build_qp(inst)
+        assert A.shape == (3, 9)
+        rho = np.full(9, 1.0 / 3.0)
+        assert np.allclose(A @ rho, 1.0)
+
+    def test_qp_objective_equals_total_cost(self, rng):
+        """The paper's ρᵀQρ + bᵀρ equals ΣCi for random fractions."""
+        for _ in range(10):
+            inst = make_random_instance(5, rng)
+            st_ = random_state(inst, rng)
+            Q, b, _ = build_qp(inst)
+            rho = st_.fractions().reshape(-1)
+            assert qp_objective(Q, b, rho) == pytest.approx(
+                st_.total_cost(), rel=1e-9
+            )
+
+    def test_q_positive_definite(self, rng):
+        """Eigenvalues are the diagonal n_i²/2s_j, all positive (paper's
+        positive-definiteness argument)."""
+        inst = make_random_instance(4, rng)
+        Q, _, _ = build_qp(inst)
+        diag = np.diagonal(Q)
+        assert np.all(diag > 0)
+        # Q is upper triangular up to permutation: its eigenvalues are the
+        # diagonal entries, and the symmetrized form is PSD on the feasible
+        # cone; verify convexity via the symmetric part being PSD on
+        # random directions that keep row sums zero.
+        H = Q + Q.T
+        rng_l = np.random.default_rng(0)
+        for _ in range(20):
+            d = rng_l.normal(size=16).reshape(4, 4)
+            d -= d.mean(axis=1, keepdims=True)  # feasible directions
+            v = d.reshape(-1)
+            assert v @ H @ v >= -1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), m=st.integers(2, 7))
+def test_cost_nonnegative_property(seed, m):
+    rng = np.random.default_rng(seed)
+    inst = make_random_instance(m, rng)
+    st_ = random_state(inst, rng)
+    assert st_.total_cost() >= 0
+    assert np.all(per_org_cost(inst, st_.R) >= 0)

@@ -1,0 +1,102 @@
+"""Tests for dynamic-load tracking."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.dynamic import DynamicBalancer, LoadProcess
+
+from ..conftest import make_random_instance
+
+
+class TestLoadProcess:
+    def test_nonnegative_and_varying(self):
+        proc = LoadProcess(np.full(10, 100.0), rng=0)
+        a = proc.sample(0.0)
+        b = proc.sample(6.0)
+        assert np.all(a >= 0)
+        assert not np.allclose(a, b)
+
+    def test_rejects_negative_base(self):
+        with pytest.raises(ValueError):
+            LoadProcess(np.array([-1.0]))
+
+    def test_zero_base_stays_zero(self):
+        proc = LoadProcess(np.zeros(4), spike_rate=0.0, rng=0)
+        assert np.all(proc.sample(3.0) == 0.0)
+
+    def test_diurnal_wave_visible(self):
+        """With noise off, the sample follows the sine."""
+        proc = LoadProcess(
+            np.full(1, 100.0),
+            amplitude=0.5,
+            period=24.0,
+            noise_sigma=0.0,
+            spike_rate=0.0,
+            rng=0,
+        )
+        samples = [proc.sample(t)[0] for t in np.linspace(0, 24, 25)]
+        assert max(samples) > 120.0
+        assert min(samples) < 80.0
+
+    def test_spikes_occur(self):
+        proc = LoadProcess(
+            np.full(5, 10.0), spike_rate=0.2, spike_factor=50.0,
+            noise_sigma=0.0, amplitude=0.0, rng=1,
+        )
+        maxima = [proc.sample(t).max() for t in range(50)]
+        assert max(maxima) > 100.0  # at least one flash crowd
+
+
+class TestDynamicBalancer:
+    @pytest.fixture
+    def balancer(self, rng):
+        inst = make_random_instance(10, rng)
+        proc = LoadProcess(inst.loads * 4 + 20.0, rng=1)
+        return DynamicBalancer(inst, proc, sweeps_per_epoch=3)
+
+    def test_tracks_within_tolerance(self, balancer):
+        records = balancer.run(8)
+        assert len(records) == 8
+        errs = [r.tracking_error for r in records]
+        # a few sweeps per epoch keep the allocation near-optimal
+        assert np.mean(errs) < 0.05
+        assert balancer.mean_tracking_error() == pytest.approx(np.mean(errs))
+
+    def test_warm_start_cheaper_than_cold(self, rng):
+        """After the first epoch the warm-started balancer moves far less
+        volume than a cold start would."""
+        inst = make_random_instance(8, rng)
+        proc = LoadProcess(
+            inst.loads * 2 + 50.0, noise_sigma=0.02, amplitude=0.1,
+            spike_rate=0.0, rng=2,
+        )
+        bal = DynamicBalancer(inst, proc, sweeps_per_epoch=4)
+        bal.run(1)
+        warm = bal.run(3)
+        total_load = float(np.mean([r.cost for r in warm])) ** 0.5  # scale ref
+        for r in warm:
+            assert r.moved >= 0.0
+        # warm epochs need at most the configured sweeps and usually stop
+        # early on the stall criterion
+        assert all(r.sweeps_used <= 4 for r in warm)
+
+    def test_history_accumulates(self, balancer):
+        balancer.run(2)
+        balancer.run(3)
+        assert len(balancer.history) == 5
+        assert [r.epoch for r in balancer.history] == [0, 1, 2, 3, 4]
+
+    def test_without_optimum_computation(self, balancer):
+        records = balancer.run(2, compute_optimum=False)
+        assert all(r.optimum == 0.0 for r in records)
+        assert all(r.tracking_error == 0.0 for r in records)
+
+    def test_survives_spike_epochs(self, rng):
+        inst = make_random_instance(8, rng)
+        proc = LoadProcess(
+            inst.loads + 10.0, spike_rate=0.3, spike_factor=30.0, rng=3
+        )
+        bal = DynamicBalancer(inst, proc, sweeps_per_epoch=4)
+        records = bal.run(6)
+        assert np.mean([r.tracking_error for r in records]) < 0.10

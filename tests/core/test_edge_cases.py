@@ -1,0 +1,106 @@
+"""Edge cases and failure injection across the core modules."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import AllocationState, Instance
+from repro.core.distributed import MinEOptimizer
+from repro.core.qp import solve_coordinate_descent
+
+
+class TestDegenerateInstances:
+    def test_single_server(self):
+        inst = Instance(np.array([2.0]), np.array([50.0]), np.zeros((1, 1)))
+        opt = solve_coordinate_descent(inst)
+        assert opt.R[0, 0] == pytest.approx(50.0)
+        assert opt.total_cost() == pytest.approx(50.0**2 / 4.0)
+        ratio, _, _ = repro.price_of_anarchy(inst, rng=0)
+        assert ratio == pytest.approx(1.0)
+
+    def test_two_servers_one_loaded(self):
+        """Classic sanity: Lemma 1 split between a loaded and an idle
+        server with latency cost."""
+        c = np.array([[0.0, 4.0], [4.0, 0.0]])
+        inst = Instance(np.ones(2), np.array([100.0, 0.0]), c)
+        opt = solve_coordinate_descent(inst)
+        # KKT: l_0 = l_1 + c  (marginals equal: l0/s = l1/s + c)
+        assert opt.loads[0] - opt.loads[1] == pytest.approx(4.0, abs=1e-6)
+
+    def test_identical_servers_identical_loads(self):
+        inst = Instance.homogeneous(6, speed=3.0, delay=7.0, loads=30.0)
+        opt = solve_coordinate_descent(inst)
+        # nothing to gain: everyone stays local
+        assert np.allclose(opt.R, np.diag(inst.loads), atol=1e-9)
+
+    def test_huge_latency_isolates(self):
+        m = 4
+        c = repro.homogeneous_latency(m, 1e12)
+        inst = Instance(np.ones(m), np.array([1000.0, 1.0, 1.0, 1.0]), c)
+        opt = solve_coordinate_descent(inst)
+        assert np.allclose(opt.R, np.diag(inst.loads), atol=1e-6)
+
+    def test_zero_latency_is_pure_load_balancing(self):
+        m = 5
+        rng = np.random.default_rng(0)
+        inst = Instance(
+            rng.uniform(1, 5, m), rng.uniform(10, 100, m), np.zeros((m, m))
+        )
+        opt = solve_coordinate_descent(inst)
+        state = AllocationState.initial(inst)
+        MinEOptimizer(state, rng=0).run(max_iterations=30)
+        assert state.total_cost() == pytest.approx(opt.total_cost(), rel=1e-6)
+
+    def test_tiny_loads_numerics(self):
+        inst = Instance(
+            np.array([1.0, 2.0]),
+            np.array([1e-9, 1e-9]),
+            np.array([[0.0, 1.0], [1.0, 0.0]]),
+        )
+        opt = solve_coordinate_descent(inst)
+        opt.check_invariants(atol=1e-12)
+        assert opt.total_cost() >= 0
+
+    def test_huge_loads_numerics(self):
+        inst = Instance(
+            np.array([1.0, 2.0]),
+            np.array([1e12, 1e10]),
+            np.array([[0.0, 20.0], [20.0, 0.0]]),
+        )
+        state = AllocationState.initial(inst)
+        trace = MinEOptimizer(state, rng=0).run(max_iterations=20)
+        assert trace.costs[-1] < trace.costs[0]
+        state.check_invariants(atol=1.0)  # absolute slack scaled to 1e12 loads
+
+
+class TestAdversarialStates:
+    def test_everything_on_slowest_server(self):
+        rng = np.random.default_rng(1)
+        m = 8
+        speeds = np.ones(m)
+        speeds[3] = 0.1  # crippled server
+        inst = Instance(
+            speeds, rng.uniform(10, 50, m), repro.homogeneous_latency(m, 1.0)
+        )
+        rho = np.zeros((m, m))
+        rho[:, 3] = 1.0  # adversarial: everything on the slow server
+        state = AllocationState.from_fractions(inst, rho)
+        MinEOptimizer(state, rng=0).run(max_iterations=40)
+        ref = solve_coordinate_descent(inst).total_cost()
+        assert state.total_cost() <= ref * 1.01
+
+    def test_mine_recovers_from_random_restart(self):
+        rng = np.random.default_rng(2)
+        m = 10
+        inst = Instance(
+            rng.uniform(1, 5, m),
+            rng.exponential(40, m),
+            repro.planetlab_like_latency(m, rng=rng),
+        )
+        ref = solve_coordinate_descent(inst).total_cost()
+        for seed in range(3):
+            local = np.random.default_rng(seed)
+            rho = local.dirichlet(np.ones(m), size=m)
+            state = AllocationState.from_fractions(inst, rho)
+            MinEOptimizer(state, rng=seed).run(max_iterations=40)
+            assert state.total_cost() <= ref * 1.01

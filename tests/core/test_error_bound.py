@@ -1,0 +1,75 @@
+"""Tests for the Proposition 1 error certificate."""
+
+import numpy as np
+import pytest
+
+from repro import AllocationState
+from repro.core.distributed import MinEOptimizer
+from repro.core.error_bound import delta_r, error_bound, pending_transfer_volumes
+from repro.core.qp import solve_coordinate_descent
+from repro.flow.transportation import remove_negative_cycles
+
+from ..conftest import make_random_instance, random_state
+
+
+class TestPendingVolumes:
+    def test_shape_and_nonnegativity(self, rng):
+        inst = make_random_instance(6, rng)
+        st = random_state(inst, rng)
+        vols = pending_transfer_volumes(inst, st)
+        assert vols.shape == (6, 6)
+        assert np.all(vols >= 0)
+        assert np.all(np.diagonal(vols) == 0)
+
+    def test_zero_at_optimum(self, rng):
+        """At the optimum no pair wants to exchange anything."""
+        inst = make_random_instance(7, rng)
+        opt = solve_coordinate_descent(inst, tol=1e-14)
+        vols = pending_transfer_volumes(inst, opt)
+        assert vols.max() < 1e-3 * inst.total_load
+
+    def test_subset_of_servers(self, rng):
+        inst = make_random_instance(5, rng)
+        st = random_state(inst, rng)
+        full = pending_transfer_volumes(inst, st)
+        sub = pending_transfer_volumes(inst, st, servers=np.array([1, 3]))
+        assert np.allclose(sub[0], full[1])
+        assert np.allclose(sub[1], full[3])
+
+
+class TestBound:
+    def test_bound_dominates_true_distance(self, rng):
+        """Proposition 1: the certificate upper-bounds the L1 distance to
+        the optimum (after negative cycles are removed)."""
+        for _ in range(5):
+            inst = make_random_instance(6, rng)
+            st = random_state(inst, rng)
+            remove_negative_cycles(st)
+            opt = solve_coordinate_descent(inst, tol=1e-14)
+            actual = float(np.abs(st.R - opt.R).sum())
+            assert error_bound(inst, st) >= actual * (1 - 1e-9)
+
+    def test_bound_shrinks_along_mine_run(self, rng):
+        inst = make_random_instance(8, rng)
+        st = AllocationState.initial(inst)
+        opt = MinEOptimizer(st, rng=0)
+        b0 = error_bound(inst, st)
+        for _ in range(6):
+            opt.sweep()
+        b1 = error_bound(inst, st)
+        assert b1 <= b0 * 1.001 + 1e-6
+        # near the optimum the bound is tiny relative to the initial one
+        assert b1 < 0.05 * b0 + 1e-6
+
+    def test_delta_r_zero_iff_locally_optimal(self, rng):
+        inst = make_random_instance(6, rng)
+        st = AllocationState.initial(inst)
+        MinEOptimizer(st, rng=0).run(max_iterations=50)
+        assert delta_r(inst, st) < 1e-4 * max(1.0, inst.total_load)
+
+    def test_bound_scales_with_m_factor(self, rng):
+        inst = make_random_instance(5, rng)
+        st = random_state(inst, rng)
+        dr = delta_r(inst, st)
+        expected = (4 * inst.m + 1) * dr * inst.speeds.sum()
+        assert error_bound(inst, st) == pytest.approx(expected, rel=1e-12)

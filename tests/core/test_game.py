@@ -1,0 +1,137 @@
+"""Tests for the selfish regime (Section V): best responses, Nash
+equilibria and the price of anarchy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AllocationState, Instance
+from repro.core.game import (
+    best_response_dynamics,
+    nash_gap,
+    price_of_anarchy,
+    selfish_best_response,
+)
+from repro.core.cost import per_org_cost
+
+from ..conftest import make_random_instance, random_state
+
+
+class TestBestResponse:
+    def test_best_response_minimizes_private_cost(self, rng):
+        """No alternative row gives the organization a lower Ci."""
+        inst = make_random_instance(7, rng)
+        state = random_state(inst, rng)
+        i = 3
+        br = selfish_best_response(inst, state, i)
+        trial = state.copy()
+        trial.set_row(i, br)
+        base = per_org_cost(inst, trial.R)[i]
+        for _ in range(20):
+            alt = rng.dirichlet(np.ones(inst.m)) * inst.loads[i]
+            t2 = state.copy()
+            t2.set_row(i, alt)
+            assert per_org_cost(inst, t2.R)[i] >= base - 1e-6 * max(1.0, base)
+
+    def test_best_response_preserves_total(self, rng):
+        inst = make_random_instance(5, rng)
+        state = random_state(inst, rng)
+        br = selfish_best_response(inst, state, 1)
+        assert br.sum() == pytest.approx(inst.loads[1], rel=1e-9)
+        assert np.all(br >= 0)
+
+    def test_isolated_org_keeps_everything_local(self):
+        """Infinite latency to everyone: the best response is r_ii = n_i."""
+        m = 3
+        c = np.full((m, m), np.inf)
+        np.fill_diagonal(c, 0.0)
+        inst = Instance(np.ones(m), np.full(m, 10.0), c)
+        state = AllocationState.initial(inst)
+        br = selfish_best_response(inst, state, 0)
+        assert br[0] == pytest.approx(10.0)
+
+
+class TestDynamics:
+    def test_reaches_approximate_equilibrium(self, rng):
+        inst = make_random_instance(10, rng)
+        ne, trace = best_response_dynamics(inst, rng=0, tol_change=0.001)
+        assert trace.converged
+        assert nash_gap(inst, ne) < 1e-3
+
+    def test_cost_trajectory_recorded(self, rng):
+        inst = make_random_instance(6, rng)
+        _, trace = best_response_dynamics(inst, rng=0)
+        assert len(trace.costs) == trace.rounds + 1
+
+    def test_equilibrium_stability_under_continuation(self, rng):
+        """Running more rounds from an equilibrium changes almost nothing."""
+        inst = make_random_instance(8, rng)
+        ne, _ = best_response_dynamics(inst, rng=0, tol_change=1e-4)
+        cost1 = ne.total_cost()
+        ne2, _ = best_response_dynamics(
+            inst, state=ne, rng=1, tol_change=1e-4, max_rounds=20
+        )
+        assert ne2.total_cost() == pytest.approx(cost1, rel=1e-3)
+
+    def test_handles_zero_load_orgs(self):
+        inst = Instance(
+            np.ones(4),
+            np.array([100.0, 0.0, 50.0, 0.0]),
+            np.full((4, 4), 2.0) - 2.0 * np.eye(4),
+        )
+        ne, trace = best_response_dynamics(inst, rng=0)
+        assert trace.converged
+        assert np.all(ne.R[1] == 0)
+        assert np.all(ne.R[3] == 0)
+
+
+class TestPriceOfAnarchy:
+    def test_poa_at_least_one(self, rng):
+        for _ in range(5):
+            inst = make_random_instance(8, rng)
+            ratio, _, _ = price_of_anarchy(inst, rng=0)
+            assert ratio >= 1.0 - 1e-6
+
+    def test_poa_low_as_paper_claims(self, rng):
+        """Section VI-C: the observed cost of selfishness stays below 1.15."""
+        worst = 0.0
+        for seed in range(6):
+            local = np.random.default_rng(seed)
+            inst = make_random_instance(12, local)
+            ratio, _, _ = price_of_anarchy(inst, rng=0)
+            worst = max(worst, ratio)
+        assert worst < 1.15
+
+    def test_selfish_never_beats_optimum(self, rng):
+        inst = make_random_instance(9, rng)
+        ratio, ne, opt = price_of_anarchy(inst, rng=0)
+        assert ne.total_cost() >= opt.total_cost() - 1e-6
+
+    def test_zero_load_system(self):
+        inst = Instance(np.ones(3), np.zeros(3), np.zeros((3, 3)))
+        ratio, _, _ = price_of_anarchy(inst, rng=0)
+        assert ratio == 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), m=st.integers(2, 8))
+def test_best_response_never_hurts_the_player(seed, m):
+    """Property: playing the best response never increases own cost."""
+    rng = np.random.default_rng(seed)
+    inst = make_random_instance(m, rng)
+    state = random_state(inst, rng)
+    i = int(rng.integers(0, m))
+    before = per_org_cost(inst, state.R)[i]
+    state.set_row(i, selfish_best_response(inst, state, i))
+    after = per_org_cost(inst, state.R)[i]
+    assert after <= before + 1e-6 * max(1.0, before)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_nash_gap_zero_after_tight_dynamics(seed):
+    rng = np.random.default_rng(seed)
+    inst = make_random_instance(6, rng)
+    ne, _ = best_response_dynamics(inst, rng=seed, tol_change=1e-5, max_rounds=300)
+    assert nash_gap(inst, ne) < 1e-4

@@ -1,0 +1,114 @@
+"""Infinite-latency (neighbour-restricted) arithmetic across the kernels.
+
+The §II trust model is expressed as ``c_ij = inf``; these tests pin down
+the inf-safe conventions (``0 · inf = 0``; forbidden moves never happen)
+in every hot path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.distributed import batch_exchange_stats
+from repro.core.transfer import calc_best_transfer, calc_best_transfer_reference
+from repro.net.trust import k_nearest_trust, restrict_latency
+
+
+def restricted_instance(seed: int, m: int = 8, k: int = 3):
+    rng = np.random.default_rng(seed)
+    lat = repro.planetlab_like_latency(m, rng=rng)
+    allowed = k_nearest_trust(lat, k)
+    return (
+        repro.Instance(
+            rng.uniform(1, 5, m),
+            np.maximum(rng.exponential(40, m), 1e-3),
+            restrict_latency(lat, allowed),
+        ),
+        allowed,
+    )
+
+
+def legal_random_state(inst, allowed, rng):
+    """A random allocation that respects the trust mask."""
+    m = inst.m
+    R = np.zeros((m, m))
+    for i in range(m):
+        options = np.flatnonzero(allowed[i])
+        share = rng.dirichlet(np.ones(options.size)) * inst.loads[i]
+        R[i, options] = share
+    return repro.AllocationState(inst, R)
+
+
+class TestInstanceFlag:
+    def test_flag_set(self):
+        inst, _ = restricted_instance(0)
+        assert inst.has_inf_latency
+
+    def test_flag_clear(self):
+        inst = repro.Instance.homogeneous(3, loads=1.0)
+        assert not inst.has_inf_latency
+
+
+class TestFiniteCosts:
+    def test_cost_finite_on_legal_states(self):
+        rng = np.random.default_rng(1)
+        inst, allowed = restricted_instance(1)
+        state = legal_random_state(inst, allowed, rng)
+        assert np.isfinite(state.total_cost())
+        assert np.all(np.isfinite(state.per_org_cost()))
+
+    def test_cost_infinite_on_illegal_state(self):
+        inst, allowed = restricted_instance(2)
+        i = 0
+        j = int(np.flatnonzero(~allowed[i])[0])
+        R = np.diag(inst.loads).astype(float)
+        R[i, i] -= 1.0
+        R[i, j] += 1.0
+        state = repro.AllocationState(inst, R)
+        assert state.total_cost() == np.inf
+
+
+class TestKernelsNoNan:
+    def test_batch_matches_per_pair_under_inf(self):
+        rng = np.random.default_rng(3)
+        inst, allowed = restricted_instance(3)
+        state = legal_random_state(inst, allowed, rng)
+        owners = np.flatnonzero(inst.loads > 0)
+        for i in range(inst.m):
+            impr, moved = batch_exchange_stats(inst, state.R, i, owners)
+            assert not np.any(np.isnan(impr))
+            for j in range(inst.m):
+                if j == i:
+                    continue
+                ex = calc_best_transfer(inst, state.R, i, j)
+                assert impr[j] == pytest.approx(
+                    ex.improvement, rel=1e-9, abs=1e-6
+                )
+
+    def test_exchange_never_uses_forbidden_link(self):
+        rng = np.random.default_rng(4)
+        inst, allowed = restricted_instance(4)
+        state = legal_random_state(inst, allowed, rng)
+        for i in range(inst.m):
+            for j in range(inst.m):
+                if i == j:
+                    continue
+                ex = calc_best_transfer(inst, state.R, i, j)
+                assert np.all(ex.col_i[~allowed[:, i]] <= 1e-12)
+                assert np.all(ex.col_j[~allowed[:, j]] <= 1e-12)
+                assert np.isfinite(ex.improvement)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_closed_form_equals_reference_under_inf(seed):
+    rng = np.random.default_rng(seed)
+    inst, allowed = restricted_instance(seed % 1000, m=6, k=2)
+    state = legal_random_state(inst, allowed, rng)
+    i, j = rng.choice(inst.m, size=2, replace=False)
+    fast = calc_best_transfer(inst, state.R, int(i), int(j))
+    ref = calc_best_transfer_reference(inst, state.R, int(i), int(j))
+    assert np.allclose(fast.col_i, ref.col_i, atol=1e-6)
+    assert np.allclose(fast.col_j, ref.col_j, atol=1e-6)

@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.core.instance`."""
+
+import numpy as np
+import pytest
+
+from repro import Instance
+
+
+def _valid_args(m=3):
+    s = np.ones(m)
+    n = np.full(m, 10.0)
+    c = np.full((m, m), 2.0)
+    np.fill_diagonal(c, 0.0)
+    return s, n, c
+
+
+class TestValidation:
+    def test_accepts_valid_instance(self):
+        inst = Instance(*_valid_args())
+        assert inst.m == 3
+        assert inst.total_load == 30.0
+        assert inst.average_load == 10.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one server"):
+            Instance(np.array([]), np.array([]), np.zeros((0, 0)))
+
+    def test_rejects_nonpositive_speed(self):
+        s, n, c = _valid_args()
+        s[1] = 0.0
+        with pytest.raises(ValueError, match="speeds"):
+            Instance(s, n, c)
+
+    def test_rejects_negative_load(self):
+        s, n, c = _valid_args()
+        n[0] = -1.0
+        with pytest.raises(ValueError, match="loads"):
+            Instance(s, n, c)
+
+    def test_rejects_negative_latency(self):
+        s, n, c = _valid_args()
+        c[0, 1] = -0.5
+        with pytest.raises(ValueError, match="latencies"):
+            Instance(s, n, c)
+
+    def test_rejects_nonzero_diagonal(self):
+        s, n, c = _valid_args()
+        c[1, 1] = 3.0
+        with pytest.raises(ValueError, match="diagonal"):
+            Instance(s, n, c)
+
+    def test_rejects_shape_mismatch(self):
+        s, n, c = _valid_args()
+        with pytest.raises(ValueError, match="loads"):
+            Instance(s, n[:-1], c)
+        with pytest.raises(ValueError, match="latency"):
+            Instance(s, n, c[:-1])
+
+    def test_allows_infinite_latency(self):
+        s, n, c = _valid_args()
+        c[0, 1] = np.inf  # "only relay to a subset of neighbours"
+        inst = Instance(s, n, c)
+        assert np.isinf(inst.latency[0, 1])
+
+    def test_arrays_are_readonly(self):
+        inst = Instance(*_valid_args())
+        with pytest.raises(ValueError):
+            inst.speeds[0] = 5.0
+
+
+class TestProperties:
+    def test_homogeneous_detection(self):
+        inst = Instance.homogeneous(5, speed=2.0, delay=7.0, loads=10.0)
+        assert inst.is_homogeneous()
+
+    def test_heterogeneous_speeds_detected(self):
+        s, n, c = _valid_args()
+        s = np.array([1.0, 2.0, 3.0])
+        assert not Instance(s, n, c).is_homogeneous()
+
+    def test_heterogeneous_latency_detected(self):
+        s, n, c = _valid_args()
+        c[0, 1] = 5.0
+        c[1, 0] = 5.0
+        assert not Instance(s, n, c).is_homogeneous()
+
+    def test_single_server_homogeneous(self):
+        inst = Instance(np.array([1.0]), np.array([5.0]), np.zeros((1, 1)))
+        assert inst.is_homogeneous()
+
+    def test_equality_and_hash(self):
+        a = Instance(*_valid_args())
+        b = Instance(*_valid_args())
+        assert a == b
+        assert hash(a) == hash(b)
+        c = a.with_loads(np.full(3, 11.0))
+        assert a != c
+
+    def test_with_speeds(self):
+        inst = Instance(*_valid_args())
+        inst2 = inst.with_speeds(np.array([2.0, 2.0, 2.0]))
+        assert inst2.speeds[0] == 2.0
+        assert np.array_equal(inst2.loads, inst.loads)
+
+
+class TestBuilders:
+    def test_homogeneous_builder_scalar_loads(self):
+        inst = Instance.homogeneous(4, delay=20.0, loads=3.0)
+        assert np.all(inst.loads == 3.0)
+        assert inst.latency[0, 1] == 20.0
+        assert inst.latency[2, 2] == 0.0
+
+    def test_homogeneous_builder_vector_loads(self):
+        inst = Instance.homogeneous(3, loads=np.array([1.0, 2.0, 3.0]))
+        assert inst.loads[2] == 3.0
+
+    def test_homogeneous_builder_default_zero_loads(self):
+        inst = Instance.homogeneous(3)
+        assert inst.total_load == 0.0

@@ -1,0 +1,106 @@
+"""Tests for the Section VII replication extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qp import solve_coordinate_descent
+from repro.core.replication import (
+    replication_feasible,
+    sample_replica_placement,
+    solve_replicated,
+)
+
+from ..conftest import make_random_instance
+
+
+class TestSolveReplicated:
+    def test_caps_hold(self, rng):
+        inst = make_random_instance(8, rng)
+        for R in (2, 3, 8):
+            st = solve_replicated(inst, R)
+            rho = st.fractions()
+            assert np.all(rho <= 1.0 / R + 1e-9)
+            st.check_invariants()
+
+    def test_r1_equals_unconstrained_when_slack(self, rng):
+        """R=1 caps fractions at 1, i.e. no constraint at all."""
+        inst = make_random_instance(6, rng)
+        capped = solve_replicated(inst, 1).total_cost()
+        free = solve_coordinate_descent(inst).total_cost()
+        assert capped == pytest.approx(free, rel=1e-6)
+
+    def test_cost_increases_with_replication(self, rng):
+        """Tighter caps can only worsen the optimum."""
+        inst = make_random_instance(6, rng)
+        costs = [solve_replicated(inst, R).total_cost() for R in (1, 2, 3, 6)]
+        for a, b in zip(costs, costs[1:]):
+            assert b >= a - 1e-6 * max(1.0, a)
+
+    def test_infeasible_factor_rejected(self, rng):
+        inst = make_random_instance(4, rng)
+        assert not replication_feasible(inst, 5)
+        with pytest.raises(ValueError, match="infeasible"):
+            solve_replicated(inst, 5)
+        with pytest.raises(ValueError):
+            solve_replicated(inst, 0)
+
+    def test_full_replication_forces_uniform(self, rng):
+        """R = m forces ρ_ij = 1/m exactly."""
+        inst = make_random_instance(5, rng)
+        st = solve_replicated(inst, 5)
+        rho = st.fractions()
+        owners = inst.loads > 0
+        assert np.allclose(rho[owners], 1.0 / 5, atol=1e-9)
+
+
+class TestPlacementSampling:
+    def test_returns_distinct_servers(self, rng):
+        m, R = 10, 3
+        rho = rng.dirichlet(np.ones(m))
+        rho = np.minimum(rho, 1.0 / R)
+        rho += (1.0 - rho.sum()) / m  # make it feasible-ish
+        rho = np.minimum(rho, 1.0 / R)
+        rho /= rho.sum()
+        placement = sample_replica_placement(rho, R, rng=rng)
+        assert placement.shape == (R,)
+        assert np.unique(placement).shape[0] == R
+
+    def test_marginals_match_probabilities(self):
+        """Empirical inclusion frequencies converge to R·ρ_ij."""
+        rng = np.random.default_rng(0)
+        m, R = 6, 2
+        rho = np.array([0.30, 0.25, 0.20, 0.15, 0.07, 0.03])
+        trials = 4000
+        counts = np.zeros(m)
+        for _ in range(trials):
+            for j in sample_replica_placement(rho, R, rng=rng):
+                counts[j] += 1
+        freq = counts / trials
+        assert np.allclose(freq, R * rho, atol=0.03)
+
+    def test_rejects_cap_violation(self):
+        rho = np.array([0.9, 0.1])
+        with pytest.raises(ValueError, match="exceed"):
+            sample_replica_placement(rho, 2)
+
+    def test_rejects_bad_sum(self):
+        rho = np.array([0.2, 0.2])  # sums to 0.4, R*rho sums to 0.8 != 2
+        with pytest.raises(ValueError, match="expected"):
+            sample_replica_placement(rho, 2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), m=st.integers(3, 10))
+def test_placement_always_distinct_property(seed, m):
+    rng = np.random.default_rng(seed)
+    R = int(rng.integers(1, m))
+    raw = rng.dirichlet(np.ones(m))
+    # project onto the capped simplex via the replication water-fill trick
+    from repro.core.waterfill import waterfill
+
+    rho = waterfill(np.ones(m), -raw, 1.0, upper=np.full(m, 1.0 / R))
+    placement = sample_replica_placement(rho, R, rng=rng)
+    assert np.unique(placement).shape[0] == R
+    assert np.all((0 <= placement) & (placement < m))

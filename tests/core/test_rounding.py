@@ -1,0 +1,134 @@
+"""Tests for the Section VII sized-task rounding extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rounding import (
+    TaskSet,
+    round_tasks_bruteforce,
+    round_tasks_greedy,
+    rounding_error,
+    solve_discrete,
+)
+from repro.net import planetlab_like_latency
+
+
+class TestTaskSet:
+    def test_total(self):
+        ts = TaskSet(0, np.array([1.0, 2.0, 3.0]))
+        assert ts.total == 6.0
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            TaskSet(0, np.array([1.0, -2.0]))
+        with pytest.raises(ValueError):
+            TaskSet(0, np.array([[1.0]]))
+
+
+class TestGreedyRounding:
+    def test_perfect_fit(self):
+        sizes = np.array([3.0, 2.0, 1.0])
+        targets = np.array([3.0, 3.0])
+        assign = round_tasks_greedy(sizes, targets)
+        assert rounding_error(sizes, targets, assign) == pytest.approx(0.0)
+
+    def test_single_bin(self):
+        sizes = np.array([1.0, 2.0])
+        targets = np.array([3.0])
+        assign = round_tasks_greedy(sizes, targets)
+        assert np.all(assign == 0)
+
+    def test_error_bounded_by_largest_task(self):
+        """Greedy + refinement error never exceeds twice the largest task
+        on balanced targets (sanity bound)."""
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            k = int(rng.integers(3, 12))
+            m = int(rng.integers(2, 5))
+            sizes = rng.uniform(0.5, 5.0, k)
+            split = rng.dirichlet(np.ones(m)) * sizes.sum()
+            assign = round_tasks_greedy(sizes, split)
+            err = rounding_error(sizes, split, assign)
+            assert err <= 2 * sizes.max() + 1e-9
+
+    def test_close_to_bruteforce(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            k = int(rng.integers(2, 7))
+            m = int(rng.integers(2, 4))
+            sizes = rng.uniform(0.5, 4.0, k)
+            targets = rng.dirichlet(np.ones(m)) * sizes.sum()
+            greedy = rounding_error(sizes, targets, round_tasks_greedy(sizes, targets))
+            exact = rounding_error(
+                sizes, targets, round_tasks_bruteforce(sizes, targets)
+            )
+            assert greedy <= exact * 2 + 1e-6  # heuristic within 2x of optimal
+
+    def test_bruteforce_guard(self):
+        with pytest.raises(ValueError, match="brute force"):
+            round_tasks_bruteforce(np.ones(30), np.ones(4) * 7.5)
+
+
+class TestSolveDiscrete:
+    def test_end_to_end(self):
+        rng = np.random.default_rng(2)
+        m = 5
+        speeds = rng.uniform(1, 5, m)
+        latency = planetlab_like_latency(m, rng=rng)
+        task_sets = [
+            TaskSet(i, rng.uniform(0.5, 3.0, int(rng.integers(5, 15))))
+            for i in range(m)
+        ]
+        opt, assignments = solve_discrete(speeds, latency, task_sets)
+        assert len(assignments) == m
+        for ts, da in zip(task_sets, assignments):
+            # every task placed on a real server
+            assert np.all((0 <= da.assignment) & (da.assignment < m))
+            # relative rounding error small versus the org's total load
+            assert da.error(ts.sizes) <= 2 * ts.sizes.max() + 1e-9
+
+    def test_discrete_cost_close_to_fractional(self):
+        """The rounded allocation's ΣCi is close to the fractional optimum
+        when tasks are small relative to totals."""
+        from repro import AllocationState, Instance
+        from repro.core.cost import total_cost
+
+        rng = np.random.default_rng(3)
+        m = 4
+        speeds = rng.uniform(1, 5, m)
+        latency = planetlab_like_latency(m, rng=rng)
+        task_sets = [TaskSet(i, rng.uniform(0.5, 1.5, 60)) for i in range(m)]
+        opt, assignments = solve_discrete(speeds, latency, task_sets)
+        R = np.zeros((m, m))
+        for ts, da in zip(task_sets, assignments):
+            np.add.at(R[da.owner], da.assignment, ts.sizes)
+        frac_cost = opt.total_cost()
+        disc_cost = total_cost(opt.inst, R)
+        assert disc_cost <= frac_cost * 1.05
+
+    def test_bad_owner_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            solve_discrete(
+                np.ones(2),
+                np.zeros((2, 2)),
+                [TaskSet(5, np.array([1.0]))],
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_greedy_rounding_assigns_every_task(seed):
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(1, 15))
+    m = int(rng.integers(1, 6))
+    sizes = rng.uniform(0.1, 5.0, k)
+    targets = rng.dirichlet(np.ones(m)) * sizes.sum()
+    assign = round_tasks_greedy(sizes, targets)
+    assert assign.shape == (k,)
+    assert np.all((0 <= assign) & (assign < m))
+    # conservation: bin sums equal the total size
+    bins = np.zeros(m)
+    np.add.at(bins, assign, sizes)
+    assert bins.sum() == pytest.approx(sizes.sum())

@@ -1,0 +1,103 @@
+"""Tests for :mod:`repro.core.state`."""
+
+import numpy as np
+import pytest
+
+from repro import AllocationState, Instance
+
+from ..conftest import make_random_instance, random_state
+
+
+class TestConstruction:
+    def test_initial_is_diagonal(self, small_instance):
+        st = AllocationState.initial(small_instance)
+        assert np.allclose(st.R, np.diag(small_instance.loads))
+        assert np.allclose(st.loads, small_instance.loads)
+
+    def test_from_fractions(self, small_instance):
+        m = small_instance.m
+        rho = np.full((m, m), 1.0 / m)
+        st = AllocationState.from_fractions(small_instance, rho)
+        expected = small_instance.loads[:, None] / m
+        assert np.allclose(st.R, expected)
+
+    def test_from_fractions_rejects_bad_rows(self, small_instance):
+        m = small_instance.m
+        rho = np.full((m, m), 1.0 / m)
+        rho[0, 0] += 0.5
+        with pytest.raises(ValueError, match="sum to 1"):
+            AllocationState.from_fractions(small_instance, rho)
+
+    def test_rejects_negative_entries(self, small_instance):
+        R = np.diag(small_instance.loads)
+        R[0, 1] = -1.0
+        R[0, 0] += 1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            AllocationState(small_instance, R)
+
+    def test_rejects_row_sum_drift(self, small_instance):
+        R = np.diag(small_instance.loads * 1.5)
+        with pytest.raises(ValueError, match="row sums"):
+            AllocationState(small_instance, R)
+
+    def test_rejects_wrong_shape(self, small_instance):
+        with pytest.raises(ValueError, match="R must be"):
+            AllocationState(small_instance, np.zeros((2, 2)))
+
+
+class TestMutation:
+    def test_set_row_updates_loads(self, small_instance, rng):
+        st = AllocationState.initial(small_instance)
+        m = small_instance.m
+        new_row = rng.dirichlet(np.ones(m)) * small_instance.loads[0]
+        st.set_row(0, new_row)
+        assert np.allclose(st.loads, st.R.sum(axis=0))
+        st.check_invariants()
+
+    def test_apply_pair_columns(self, small_instance):
+        st = AllocationState.initial(small_instance)
+        i, j = 0, 1
+        col_i = st.R[:, i] * 0.5
+        col_j = st.R[:, j] + st.R[:, i] * 0.5
+        st.apply_pair_columns(i, j, col_i, col_j)
+        assert np.allclose(st.loads, st.R.sum(axis=0))
+        st.check_invariants()
+
+    def test_copy_is_independent(self, small_instance):
+        st = AllocationState.initial(small_instance)
+        cp = st.copy()
+        cp.R[0, 0] += 1.0
+        assert st.R[0, 0] != cp.R[0, 0]
+
+    def test_refresh_loads(self, small_instance):
+        st = AllocationState.initial(small_instance)
+        st.loads[0] += 123.0  # simulate drift
+        st.refresh_loads()
+        assert np.allclose(st.loads, st.R.sum(axis=0))
+
+
+class TestFractions:
+    def test_roundtrip(self, rng):
+        inst = make_random_instance(5, rng)
+        st = random_state(inst, rng)
+        rho = st.fractions()
+        st2 = AllocationState.from_fractions(inst, rho)
+        assert np.allclose(st.R, st2.R)
+
+    def test_zero_load_rows_get_identity_convention(self):
+        inst = Instance(
+            np.ones(3),
+            np.array([0.0, 5.0, 0.0]),
+            np.zeros((3, 3)),
+        )
+        st = AllocationState.initial(inst)
+        rho = st.fractions()
+        assert rho[0, 0] == 1.0
+        assert rho[2, 2] == 1.0
+        assert np.allclose(rho.sum(axis=1), 1.0)
+
+    def test_check_invariants_catches_negative(self, small_instance):
+        st = AllocationState.initial(small_instance)
+        st.R[0, 1] = -1.0
+        with pytest.raises(AssertionError):
+            st.check_invariants()

@@ -1,0 +1,125 @@
+"""Tests for the Section V-A theory: Theorem 1 and Lemma 3."""
+
+import numpy as np
+import pytest
+
+from repro import Instance
+from repro.core.game import best_response_dynamics, nash_gap, price_of_anarchy
+from repro.core.theory import (
+    homogeneous_nash_construction,
+    lemma3_bound,
+    lemma3_violation,
+    poa_lower_bound,
+    poa_upper_bound,
+)
+
+
+def homogeneous(m=10, speed=1.0, delay=2.0, lav=100.0) -> Instance:
+    return Instance.homogeneous(m, speed=speed, delay=delay, loads=lav)
+
+
+class TestBounds:
+    def test_upper_bound_formula(self):
+        inst = homogeneous(speed=2.0, delay=3.0, lav=60.0)
+        x = 3.0 * 2.0 / 60.0
+        assert poa_upper_bound(inst) == pytest.approx(1 + 2 * x + x * x)
+
+    def test_lower_bound_formula(self):
+        inst = homogeneous(speed=1.0, delay=2.0, lav=100.0)
+        x = 2.0 / 100.0
+        assert poa_lower_bound(inst) == pytest.approx(1 + 2 * x - 4 * x * x)
+
+    def test_lower_never_exceeds_upper(self):
+        for lav in (10.0, 50.0, 200.0, 1000.0):
+            inst = homogeneous(lav=lav)
+            assert poa_lower_bound(inst) <= poa_upper_bound(inst)
+
+    def test_bounds_shrink_with_load(self):
+        """PoA → 1 as servers get loaded (the paper's main message)."""
+        gaps = [
+            poa_upper_bound(homogeneous(lav=lav)) - 1.0
+            for lav in (10.0, 100.0, 1000.0)
+        ]
+        assert gaps[0] > gaps[1] > gaps[2]
+        assert gaps[2] < 0.01
+
+    def test_rejects_heterogeneous(self):
+        inst = Instance(
+            np.array([1.0, 2.0]),
+            np.array([5.0, 5.0]),
+            np.array([[0.0, 1.0], [1.0, 0.0]]),
+        )
+        with pytest.raises(ValueError, match="homogeneous"):
+            poa_upper_bound(inst)
+
+    def test_zero_load_gives_one(self):
+        inst = Instance.homogeneous(4, delay=3.0, loads=0.0)
+        assert poa_upper_bound(inst) == 1.0
+        assert poa_lower_bound(inst) == 1.0
+
+    def test_empirical_poa_within_theorem1(self):
+        """Measured price of anarchy respects the Theorem 1 window (up to
+        the O((cs/lav)²) slack and the best-response approximation)."""
+        for lav in (50.0, 200.0):
+            inst = homogeneous(m=8, delay=2.0, lav=lav)
+            ratio, _, _ = price_of_anarchy(inst, rng=0, tol_change=1e-4)
+            assert ratio <= poa_upper_bound(inst) + 1e-3
+
+
+class TestLemma3:
+    def test_bound_value(self):
+        inst = homogeneous(speed=3.0, delay=2.0)
+        assert lemma3_bound(inst) == pytest.approx(6.0)
+
+    def test_nash_equilibrium_satisfies_lemma3(self):
+        """At an (approximate) NE loads differ by at most c·s."""
+        rng = np.random.default_rng(0)
+        loads = rng.uniform(0, 200, 10)
+        inst = Instance.homogeneous(10, speed=1.0, delay=2.0, loads=loads)
+        ne, _ = best_response_dynamics(inst, rng=0, tol_change=1e-5)
+        # allow tiny numerical slack
+        assert lemma3_violation(inst, ne) <= 1e-3 * lemma3_bound(inst) + 1e-6
+
+    def test_violation_positive_for_unbalanced_state(self):
+        from repro import AllocationState
+
+        inst = homogeneous(m=3, delay=0.5, lav=90.0)
+        st = AllocationState.initial(inst)
+        st.set_row(0, np.array([0.0, 90.0, 0.0]))  # pile everything on 1
+        assert lemma3_violation(inst, st) > 0
+
+
+class TestConstruction:
+    def test_construction_is_feasible_and_load_preserving(self):
+        inst = homogeneous(m=6, speed=1.0, delay=2.0, lav=100.0)
+        ne = homogeneous_nash_construction(inst)
+        ne.check_invariants()
+        assert np.allclose(ne.loads, 100.0)
+
+    def test_construction_is_nash(self):
+        """The explicit construction from the tightness proof is an
+        equilibrium: no unilateral deviation helps."""
+        inst = homogeneous(m=5, speed=1.0, delay=2.0, lav=100.0)
+        ne = homogeneous_nash_construction(inst)
+        assert nash_gap(inst, ne) < 1e-9
+
+    def test_construction_cost_matches_tightness_ratio(self):
+        """ΣCi of the construction approaches the PoA lower bound."""
+        inst = homogeneous(m=40, speed=1.0, delay=2.0, lav=200.0)
+        ne = homogeneous_nash_construction(inst)
+        opt_cost = inst.m * 200.0**2 / 2.0  # balanced, no communication
+        ratio = ne.total_cost() / opt_cost
+        assert ratio >= poa_lower_bound(inst) - 1e-2
+        assert ratio <= poa_upper_bound(inst) + 1e-9
+
+    def test_construction_requires_enough_load(self):
+        inst = homogeneous(m=4, speed=1.0, delay=10.0, lav=5.0)  # lav < 2cs
+        with pytest.raises(ValueError, match="2·c·s"):
+            homogeneous_nash_construction(inst)
+
+    def test_construction_requires_equal_loads(self):
+        inst = Instance.homogeneous(
+            3, delay=1.0, loads=np.array([10.0, 20.0, 30.0])
+        )
+        with pytest.raises(ValueError, match="equal initial loads"):
+            homogeneous_nash_construction(inst)

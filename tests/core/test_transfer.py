@@ -1,0 +1,155 @@
+"""Tests for Algorithm 1 (pairwise exchange) — Lemmas 1 and 2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AllocationState
+from repro.core.transfer import (
+    calc_best_transfer,
+    calc_best_transfer_reference,
+    lemma1_transfer,
+)
+
+from ..conftest import make_random_instance, random_state
+
+
+class TestLemma1:
+    def test_balances_equal_speeds_no_latency(self):
+        # two servers, same speed, no latency difference: split the load
+        t = lemma1_transfer(1.0, 1.0, 10.0, 0.0, 0.0, 0.0, 10.0)
+        assert t == pytest.approx(5.0)
+
+    def test_latency_shifts_the_split(self):
+        # moving to j costs 2 more than staying: move less than half
+        t = lemma1_transfer(1.0, 1.0, 10.0, 0.0, 0.0, 2.0, 10.0)
+        assert t == pytest.approx((10.0 - 2.0) / 2.0)
+
+    def test_clamped_at_available(self):
+        t = lemma1_transfer(1.0, 1.0, 100.0, 0.0, 0.0, 0.0, 3.0)
+        assert t == 3.0
+
+    def test_never_negative(self):
+        t = lemma1_transfer(1.0, 1.0, 0.0, 100.0, 0.0, 0.0, 5.0)
+        assert t == 0.0
+
+    def test_speed_weighted_balance(self):
+        # s_i=1, s_j=3: optimum puts 3/4 of the pooled load on j
+        t = lemma1_transfer(1.0, 3.0, 8.0, 0.0, 0.0, 0.0, 8.0)
+        assert t == pytest.approx(6.0)
+
+    def test_transfer_minimizes_pair_objective(self):
+        """The Lemma 1 amount minimizes f(Δ) over a dense grid."""
+        s_i, s_j = 1.3, 2.7
+        l_i, l_j = 40.0, 5.0
+        c_ki, c_kj = 2.0, 7.0
+        r_ki = 20.0
+        t = lemma1_transfer(s_i, s_j, l_i, l_j, c_ki, c_kj, r_ki)
+
+        def f(d):
+            return (
+                (l_i - d) ** 2 / (2 * s_i)
+                + (l_j + d) ** 2 / (2 * s_j)
+                - d * c_ki
+                + d * c_kj
+            )
+
+        grid = np.linspace(0.0, r_ki, 2001)
+        assert f(t) <= np.min([f(d) for d in grid]) + 1e-8
+
+
+class TestAlgorithm1:
+    def test_improvement_never_negative(self, rng):
+        for _ in range(20):
+            inst = make_random_instance(8, rng)
+            state = random_state(inst, rng)
+            i, j = rng.choice(8, size=2, replace=False)
+            ex = calc_best_transfer(inst, state.R, int(i), int(j))
+            assert ex.improvement >= -1e-7
+
+    def test_conserves_per_org_totals(self, rng):
+        inst = make_random_instance(6, rng)
+        state = random_state(inst, rng)
+        old = state.R[:, 0] + state.R[:, 1]
+        ex = calc_best_transfer(inst, state.R, 0, 1)
+        assert np.allclose(ex.col_i + ex.col_j, old, atol=1e-9)
+
+    def test_applying_improves_total_cost_exactly(self, rng):
+        inst = make_random_instance(6, rng)
+        state = random_state(inst, rng)
+        before = state.total_cost()
+        ex = calc_best_transfer(inst, state.R, 2, 4)
+        state.apply_pair_columns(2, 4, ex.col_i, ex.col_j)
+        after = state.total_cost()
+        assert before - after == pytest.approx(ex.improvement, rel=1e-9, abs=1e-7)
+
+    def test_lemma2_local_optimality(self, rng):
+        """After Algorithm 1 no single-organization move between i and j
+        can improve ΣCi (Lemma 2)."""
+        inst = make_random_instance(6, rng)
+        state = random_state(inst, rng)
+        i, j = 1, 3
+        ex = calc_best_transfer(inst, state.R, i, j)
+        state.apply_pair_columns(i, j, ex.col_i, ex.col_j)
+        base = state.total_cost()
+        for k in range(inst.m):
+            for frac in (0.25, 1.0):
+                for src, dst in ((i, j), (j, i)):
+                    amount = state.R[k, src] * frac
+                    if amount <= 0:
+                        continue
+                    trial = state.copy()
+                    trial.R[k, src] -= amount
+                    trial.R[k, dst] += amount
+                    trial.refresh_loads()
+                    assert trial.total_cost() >= base - 1e-6
+
+    def test_self_pair_rejected(self, rng):
+        inst = make_random_instance(4, rng)
+        state = random_state(inst, rng)
+        with pytest.raises(ValueError):
+            calc_best_transfer(inst, state.R, 2, 2)
+        with pytest.raises(ValueError):
+            calc_best_transfer_reference(inst, state.R, 2, 2)
+
+    def test_empty_pair_is_noop(self):
+        import repro
+
+        inst = repro.Instance(
+            np.ones(3), np.array([0.0, 0.0, 5.0]), repro.homogeneous_latency(3, 1.0)
+        )
+        state = AllocationState.initial(inst)
+        ex = calc_best_transfer(inst, state.R, 0, 1)
+        assert ex.improvement == 0.0
+        assert ex.moved == 0.0
+
+
+@settings(max_examples=120, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), m=st.integers(2, 12))
+def test_closed_form_equals_reference(seed, m):
+    """Property: the vectorized closed form reproduces the literal
+    pseudo-code transcription on random states."""
+    rng = np.random.default_rng(seed)
+    inst = make_random_instance(m, rng)
+    state = random_state(inst, rng)
+    i, j = rng.choice(m, size=2, replace=False)
+    fast = calc_best_transfer(inst, state.R, int(i), int(j))
+    ref = calc_best_transfer_reference(inst, state.R, int(i), int(j))
+    assert np.allclose(fast.col_i, ref.col_i, atol=1e-6)
+    assert np.allclose(fast.col_j, ref.col_j, atol=1e-6)
+    assert fast.improvement == pytest.approx(ref.improvement, abs=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_exchange_is_idempotent(seed):
+    """Property: re-running Algorithm 1 on an already balanced pair moves
+    (essentially) nothing."""
+    rng = np.random.default_rng(seed)
+    inst = make_random_instance(6, rng)
+    state = random_state(inst, rng)
+    ex = calc_best_transfer(inst, state.R, 0, 1)
+    state.apply_pair_columns(0, 1, ex.col_i, ex.col_j)
+    again = calc_best_transfer(inst, state.R, 0, 1)
+    assert again.improvement <= 1e-6

@@ -1,0 +1,40 @@
+"""Smoke tests for the ``python -m repro.experiments.*`` entry points."""
+
+import pytest
+
+from repro.experiments import convergence, rtt_validation, selfishness
+
+
+class TestConvergenceCli:
+    def test_table_quick(self, capsys):
+        convergence.main(["--table", "1", "--sizes", "20", "--quick"])
+        out = capsys.readouterr().out
+        assert "relative error" in out
+        assert "uniform" in out
+        assert "peak" in out
+
+    def test_figure_quick(self, capsys):
+        convergence.main(["--figure", "2", "--sizes", "50"])
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "m=   50" in out
+
+    def test_rejects_bad_table(self):
+        with pytest.raises(SystemExit):
+            convergence.main(["--table", "9"])
+
+
+class TestSelfishnessCli:
+    def test_quick(self, capsys):
+        selfishness.main(["--quick"])
+        out = capsys.readouterr().out
+        assert "Cost of selfishness" in out
+        assert "lav" in out
+
+
+class TestRttCli:
+    def test_quick(self, capsys):
+        rtt_validation.main(["--quick"])
+        out = capsys.readouterr().out
+        assert "RTT deviation" in out
+        assert "MB/s" in out

@@ -1,0 +1,88 @@
+"""Tests for the experiment settings grid."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    PEAK_TOTAL,
+    Setting,
+    make_instance,
+    paper_settings,
+)
+
+
+class TestMakeInstance:
+    def test_deterministic(self):
+        s = Setting(20, "uniform", 50, "planetlab")
+        a = make_instance(s)
+        b = make_instance(s)
+        assert a == b
+
+    def test_seed_changes_instance(self):
+        a = make_instance(Setting(20, "uniform", 50, "planetlab", seed=0))
+        b = make_instance(Setting(20, "uniform", 50, "planetlab", seed=1))
+        assert a != b
+
+    def test_uniform_load_range(self):
+        inst = make_instance(Setting(200, "uniform", 50, "homogeneous"))
+        assert inst.loads.max() <= 100.0
+        assert inst.average_load == pytest.approx(50.0, rel=0.2)
+
+    def test_exponential_load_mean(self):
+        inst = make_instance(Setting(300, "exponential", 200, "homogeneous"))
+        assert inst.average_load == pytest.approx(200.0, rel=0.25)
+
+    def test_peak_load(self):
+        inst = make_instance(Setting(50, "peak", PEAK_TOTAL / 50, "planetlab"))
+        assert inst.total_load == PEAK_TOTAL
+        assert (inst.loads > 0).sum() == 1
+
+    def test_constant_speeds(self):
+        inst = make_instance(Setting(30, "uniform", 50, "homogeneous", "constant"))
+        assert np.all(inst.speeds == 1.0)
+
+    def test_uniform_speeds_in_range(self):
+        inst = make_instance(Setting(100, "uniform", 50, "homogeneous"))
+        assert inst.speeds.min() >= 1.0
+        assert inst.speeds.max() <= 5.0
+
+    def test_homogeneous_network_delay(self):
+        inst = make_instance(Setting(10, "uniform", 50, "homogeneous"))
+        off = inst.latency[~np.eye(10, dtype=bool)]
+        assert np.all(off == 20.0)
+
+    def test_unknown_load_kind(self):
+        with pytest.raises(ValueError):
+            make_instance(Setting(10, "bogus", 50, "homogeneous"))
+
+
+class TestSettingsGrid:
+    def test_full_grid_size(self):
+        settings = list(paper_settings(sizes=(20, 30)))
+        # per size: uniform×5 + exponential×5 + peak×1 = 11, ×2 networks
+        assert len(settings) == 2 * 11 * 2
+
+    def test_peak_ignores_avg_loads(self):
+        settings = [
+            s
+            for s in paper_settings(sizes=(50,), load_kinds=("peak",))
+        ]
+        assert all(s.avg_load == pytest.approx(PEAK_TOTAL / 50) for s in settings)
+
+    def test_repetitions(self):
+        settings = list(
+            paper_settings(
+                sizes=(20,),
+                load_kinds=("uniform",),
+                avg_loads=(50,),
+                networks=("homogeneous",),
+                repetitions=3,
+            )
+        )
+        assert len(settings) == 3
+        assert {s.seed for s in settings} == {0, 1, 2}
+
+    def test_label_readable(self):
+        s = Setting(20, "uniform", 50, "planetlab")
+        assert "m=20" in s.label()
+        assert "planetlab" in s.label()

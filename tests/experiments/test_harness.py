@@ -1,0 +1,94 @@
+"""Smoke tests of the experiment harness on tiny grids (full grids run in
+``benchmarks/`` and are recorded in EXPERIMENTS.md)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import Setting
+from repro.experiments.convergence import (
+    convergence_table,
+    figure2_traces,
+    iterations_to_tolerance,
+)
+from repro.experiments.rtt_validation import render_table, rtt_table
+from repro.experiments.selfishness import selfishness_ratio, selfishness_table
+from repro.experiments.report import format_grouped_table, format_simple_table
+
+
+class TestConvergenceHarness:
+    def test_iterations_positive_and_bounded(self):
+        s = Setting(20, "uniform", 50, "planetlab")
+        it = iterations_to_tolerance(s, 0.02)
+        assert 0 <= it <= 60
+
+    def test_tighter_tolerance_needs_more_iterations(self):
+        s = Setting(30, "exponential", 50, "planetlab")
+        loose = iterations_to_tolerance(s, 0.02)
+        tight = iterations_to_tolerance(s, 0.0001)
+        assert tight >= loose
+
+    def test_table_shape(self):
+        cells = convergence_table(
+            0.02, sizes=(20,), avg_loads=(50,), repetitions=1
+        )
+        kinds = {c.load_kind for c in cells}
+        assert kinds == {"uniform", "exponential", "peak"}
+        for c in cells:
+            assert c.maximum >= c.average >= 0
+            assert c.std >= 0
+            assert c.samples >= 2  # two networks
+
+    def test_figure2_trace_decreases(self):
+        traces = figure2_traces(sizes=(60,), iterations=10)
+        costs = traces[60]
+        assert costs[0] > costs[-1]
+        # near-monotone decrease
+        for a, b in zip(costs, costs[1:]):
+            assert b <= a * (1 + 1e-9)
+
+
+class TestSelfishnessHarness:
+    def test_ratio_at_least_one(self):
+        r = selfishness_ratio(Setting(20, "uniform", 50, "homogeneous", "constant"))
+        assert r >= 1.0
+
+    def test_table_groups(self):
+        cells = selfishness_table(sizes=(20,), avg_loads=(20, 200))
+        bands = {c.load_band for c in cells}
+        assert bands == {"lav <= 30", "lav >= 200"}
+        speeds = {c.speed_kind for c in cells}
+        assert speeds == {"constant", "uniform"}
+        for c in cells:
+            assert 1.0 <= c.average <= c.maximum
+            assert c.maximum < 1.5  # the paper's "low cost of selfishness"
+
+    def test_paper_claim_below_115(self):
+        """Table III claim: worst observed ratio below 1.15."""
+        cells = selfishness_table(sizes=(20, 50), avg_loads=(20, 50, 200))
+        assert max(c.maximum for c in cells) < 1.2
+
+
+class TestRttHarness:
+    def test_rows_and_rendering(self):
+        rows = rtt_table(servers=15, samples=30, seed=1)
+        text = render_table(rows)
+        assert "tb" in text
+        assert "10 KB/s" in text
+        assert len(rows) == 9
+
+
+class TestReport:
+    def test_simple_table_alignment(self):
+        text = format_simple_table(
+            "T", ("a", "bbb"), [("1", "2"), ("333", "4")]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5  # title, header, separator, two rows
+
+    def test_grouped_table_hides_repeats(self):
+        text = format_grouped_table(
+            "T", ("g", "v"), [("x", "1"), ("x", "2"), ("y", "3")]
+        )
+        # second 'x' suppressed
+        assert text.count("x") == 1

@@ -1,0 +1,131 @@
+"""Tests for the from-scratch min-cost max-flow solver."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow.graph import ResidualGraph
+from repro.flow.mincost import min_cost_flow
+
+
+class TestResidualGraph:
+    def test_add_edge_and_mirror(self):
+        g = ResidualGraph(3, 2)
+        e = g.add_edge(0, 1, 5.0, 2.0)
+        assert g.cap[e] == 5.0
+        assert g.cap[e ^ 1] == 0.0
+        assert g.cost[e ^ 1] == -2.0
+        assert g.to[e] == 1
+        assert g.to[e ^ 1] == 0
+
+    def test_arc_budget_enforced(self):
+        g = ResidualGraph(2, 1)
+        g.add_edge(0, 1, 1.0, 0.0)
+        with pytest.raises(IndexError):
+            g.add_edge(1, 0, 1.0, 0.0)
+
+    def test_negative_capacity_rejected(self):
+        g = ResidualGraph(2, 1)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -1.0, 0.0)
+
+    def test_arcs_from_iteration(self):
+        g = ResidualGraph(3, 3)
+        g.add_edge(0, 1, 1.0, 0.0)
+        g.add_edge(0, 2, 1.0, 0.0)
+        arcs = list(g.arcs_from(0))
+        assert len(arcs) == 2
+
+
+class TestMinCostFlow:
+    def test_single_path(self):
+        g = ResidualGraph(3, 2)
+        g.add_edge(0, 1, 4.0, 1.0)
+        g.add_edge(1, 2, 4.0, 2.0)
+        res = min_cost_flow(g, 0, 2)
+        assert res.flow == pytest.approx(4.0)
+        assert res.cost == pytest.approx(12.0)
+
+    def test_prefers_cheap_path(self):
+        g = ResidualGraph(4, 4)
+        g.add_edge(0, 1, 10.0, 1.0)
+        g.add_edge(1, 3, 10.0, 1.0)
+        g.add_edge(0, 2, 10.0, 5.0)
+        g.add_edge(2, 3, 10.0, 5.0)
+        res = min_cost_flow(g, 0, 3, max_flow=10.0)
+        assert res.cost == pytest.approx(20.0)
+
+    def test_splits_when_capacity_binds(self):
+        g = ResidualGraph(4, 4)
+        g.add_edge(0, 1, 5.0, 1.0)
+        g.add_edge(1, 3, 5.0, 1.0)
+        g.add_edge(0, 2, 10.0, 3.0)
+        g.add_edge(2, 3, 10.0, 3.0)
+        res = min_cost_flow(g, 0, 3, max_flow=8.0)
+        # 5 on the cheap path (cost 2), 3 on the expensive one (cost 6)
+        assert res.flow == pytest.approx(8.0)
+        assert res.cost == pytest.approx(5 * 2 + 3 * 6)
+
+    def test_max_flow_limit(self):
+        g = ResidualGraph(2, 1)
+        g.add_edge(0, 1, 100.0, 1.0)
+        res = min_cost_flow(g, 0, 1, max_flow=7.0)
+        assert res.flow == pytest.approx(7.0)
+
+    def test_disconnected_sink(self):
+        g = ResidualGraph(3, 1)
+        g.add_edge(0, 1, 1.0, 1.0)
+        res = min_cost_flow(g, 0, 2)
+        assert res.flow == 0.0
+
+    def test_negative_costs_with_bootstrap(self):
+        """Negative-cost arcs trigger the Bellman–Ford potential
+        bootstrap and still give the optimal answer."""
+        g = ResidualGraph(4, 4)
+        g.add_edge(0, 1, 5.0, -2.0)
+        g.add_edge(1, 3, 5.0, 1.0)
+        g.add_edge(0, 2, 5.0, 2.0)
+        g.add_edge(2, 3, 5.0, 2.0)
+        res = min_cost_flow(g, 0, 3, max_flow=5.0)
+        assert res.cost == pytest.approx(-5.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_matches_networkx_on_random_dags(seed):
+    """Property: min-cost flow agrees with networkx on random integer
+    transportation-style instances."""
+    rng = np.random.default_rng(seed)
+    n_src = int(rng.integers(1, 5))
+    n_dst = int(rng.integers(1, 5))
+    supply = rng.integers(1, 15, n_src)
+    dist = rng.dirichlet(np.ones(n_dst))
+    demand = rng.multinomial(int(supply.sum()), dist)
+    cost = rng.integers(0, 30, (n_src, n_dst))
+
+    g = ResidualGraph(2 + n_src + n_dst, n_src + n_dst + n_src * n_dst)
+    S, T = 0, 1
+    for i in range(n_src):
+        g.add_edge(S, 2 + i, float(supply[i]), 0.0)
+    for j in range(n_dst):
+        g.add_edge(2 + n_src + j, T, float(demand[j]), 0.0)
+    for i in range(n_src):
+        for j in range(n_dst):
+            g.add_edge(2 + i, 2 + n_src + j, np.inf, float(cost[i, j]))
+    res = min_cost_flow(g, S, T)
+
+    G = nx.DiGraph()
+    G.add_node("s", demand=-int(supply.sum()))
+    G.add_node("t", demand=int(supply.sum()))
+    for i in range(n_src):
+        G.add_edge("s", ("u", i), capacity=int(supply[i]), weight=0)
+    for j in range(n_dst):
+        G.add_edge(("v", j), "t", capacity=int(demand[j]), weight=0)
+    for i in range(n_src):
+        for j in range(n_dst):
+            G.add_edge(("u", i), ("v", j), weight=int(cost[i, j]))
+    expected = nx.min_cost_flow_cost(G)
+    assert res.flow == pytest.approx(float(supply.sum()))
+    assert res.cost == pytest.approx(float(expected), abs=1e-6)

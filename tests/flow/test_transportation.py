@@ -1,0 +1,116 @@
+"""Tests for the transportation reduction and negative-cycle removal."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AllocationState, Instance
+from repro.flow.transportation import (
+    relay_graph_negative_cycle,
+    remove_negative_cycles,
+    solve_transportation,
+)
+
+from ..conftest import make_random_instance, random_state
+
+
+class TestTransportation:
+    def test_identity_when_single_pair(self):
+        f = solve_transportation(
+            np.array([5.0]), np.array([5.0]), np.array([[3.0]])
+        )
+        assert f[0, 0] == pytest.approx(5.0)
+
+    def test_balances_required(self):
+        with pytest.raises(ValueError, match="balance"):
+            solve_transportation(np.array([5.0]), np.array([4.0]), np.ones((1, 1)))
+
+    def test_zero_supply(self):
+        f = solve_transportation(np.zeros(2), np.zeros(3), np.ones((2, 3)))
+        assert np.all(f == 0)
+
+    def test_picks_cheapest_assignment(self):
+        cost = np.array([[1.0, 10.0], [10.0, 1.0]])
+        f = solve_transportation(
+            np.array([3.0, 4.0]), np.array([3.0, 4.0]), cost
+        )
+        assert f[0, 0] == pytest.approx(3.0)
+        assert f[1, 1] == pytest.approx(4.0)
+
+    def test_conservation(self):
+        rng = np.random.default_rng(0)
+        sup = rng.uniform(1, 10, 4)
+        dem = rng.dirichlet(np.ones(5)) * sup.sum()
+        cost = rng.uniform(0, 5, (4, 5))
+        f = solve_transportation(sup, dem, cost)
+        assert np.allclose(f.sum(axis=1), sup, atol=1e-6)
+        assert np.allclose(f.sum(axis=0), dem, atol=1e-6)
+        assert np.all(f >= -1e-9)
+
+    def test_infinite_cost_blocks_route(self):
+        cost = np.array([[np.inf, 1.0], [1.0, np.inf]])
+        f = solve_transportation(
+            np.array([2.0, 2.0]), np.array([2.0, 2.0]), cost
+        )
+        assert f[0, 0] == 0.0
+        assert f[0, 1] == pytest.approx(2.0)
+
+
+class TestNegativeCycleRemoval:
+    def test_loads_preserved_and_cost_reduced(self, rng):
+        for _ in range(5):
+            inst = make_random_instance(7, rng)
+            st = random_state(inst, rng)
+            loads = st.loads.copy()
+            cost = st.total_cost()
+            saved = remove_negative_cycles(st)
+            assert saved >= -1e-6
+            assert np.allclose(st.loads, loads, atol=1e-6)
+            assert st.total_cost() <= cost + 1e-6
+            st.check_invariants()
+
+    def test_self_execution_untouched(self, rng):
+        inst = make_random_instance(5, rng)
+        st = random_state(inst, rng)
+        diag = np.diagonal(st.R).copy()
+        remove_negative_cycles(st)
+        assert np.allclose(np.diagonal(st.R), diag)
+
+    def test_noop_on_local_allocation(self, rng):
+        inst = make_random_instance(5, rng)
+        st = AllocationState.initial(inst)
+        saved = remove_negative_cycles(st)
+        assert saved == pytest.approx(0.0, abs=1e-9)
+
+    def test_no_negative_cycle_after_removal(self, rng):
+        """The whole point of the reduction: the relay graph has no
+        negative cycle afterwards."""
+        inst = make_random_instance(6, rng)
+        st = random_state(inst, rng)
+        remove_negative_cycles(st)
+        assert relay_graph_negative_cycle(st) is None
+
+    def test_crafted_negative_cycle_removed(self):
+        """Two organizations pointlessly swapping requests is dismantled."""
+        m = 2
+        c = np.array([[0.0, 5.0], [5.0, 0.0]])
+        inst = Instance(np.ones(m), np.array([10.0, 10.0]), c)
+        R = np.array([[0.0, 10.0], [10.0, 0.0]])  # full swap
+        st = AllocationState(inst, R)
+        before = st.total_cost()
+        saved = remove_negative_cycles(st)
+        assert saved == pytest.approx(100.0)  # 20 requests × 5 ms
+        assert st.total_cost() == pytest.approx(before - 100.0)
+        assert np.allclose(st.R, np.diag([10.0, 10.0]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), m=st.integers(2, 8))
+def test_removal_idempotent_property(seed, m):
+    rng = np.random.default_rng(seed)
+    inst = make_random_instance(m, rng)
+    st = random_state(inst, rng)
+    remove_negative_cycles(st)
+    saved_again = remove_negative_cycles(st)
+    assert saved_again == pytest.approx(0.0, abs=1e-5)

@@ -1,0 +1,114 @@
+"""Tests for the push–pull gossip dissemination layer."""
+
+import numpy as np
+import pytest
+
+from repro.gossip import GossipNetwork
+
+
+class TestBasics:
+    def test_publish_and_view(self):
+        g = GossipNetwork(4, rng=0)
+        g.publish(2, 42.0)
+        assert g.view(2)[2] == 42.0
+        assert g.view(0)[2] == 0.0  # not yet disseminated
+
+    def test_publish_all(self):
+        g = GossipNetwork(5, rng=0)
+        g.publish_all(np.arange(5.0))
+        for i in range(5):
+            assert g.view(i)[i] == float(i)
+
+    def test_publish_all_shape_checked(self):
+        g = GossipNetwork(3, rng=0)
+        with pytest.raises(ValueError):
+            g.publish_all(np.zeros(4))
+
+    def test_needs_a_node(self):
+        with pytest.raises(ValueError):
+            GossipNetwork(0)
+
+    def test_single_node_trivially_converged(self):
+        g = GossipNetwork(1, rng=0)
+        g.publish_all(np.array([3.0]))
+        assert g.fully_converged()
+
+
+class TestDissemination:
+    def test_everyone_learns_everything(self):
+        g = GossipNetwork(32, rng=0)
+        g.publish_all(np.arange(32.0))
+        rounds = g.rounds_to_convergence()
+        assert g.fully_converged()
+        assert rounds < 32  # far better than linear
+        for i in range(32):
+            assert np.array_equal(g.view(i), np.arange(32.0))
+
+    def test_logarithmic_convergence(self):
+        """Convergence rounds grow slowly (O(log m)-ish): going from 16 to
+        256 nodes should much less than 16x the rounds."""
+        rounds = {}
+        for m in (16, 256):
+            trials = []
+            for seed in range(3):
+                g = GossipNetwork(m, rng=seed)
+                g.publish_all(np.zeros(m))
+                trials.append(g.rounds_to_convergence())
+            rounds[m] = np.mean(trials)
+        assert rounds[256] <= rounds[16] * 4
+
+    def test_staleness_decreases(self):
+        g = GossipNetwork(24, rng=1)
+        g.publish_all(np.arange(24.0))
+        s0 = g.staleness()
+        g.round()
+        g.round()
+        s1 = g.staleness()
+        assert s1 < s0
+
+    def test_fresher_version_wins(self):
+        g = GossipNetwork(2, rng=0)
+        g.publish(0, 1.0)
+        g.rounds_to_convergence()
+        g.publish(0, 2.0)  # newer value
+        g.rounds_to_convergence()
+        assert g.view(1)[0] == 2.0
+
+    def test_fanout_accelerates(self):
+        slow, fast = [], []
+        for seed in range(3):
+            g1 = GossipNetwork(64, fanout=1, rng=seed)
+            g1.publish_all(np.zeros(64))
+            slow.append(g1.rounds_to_convergence())
+            g2 = GossipNetwork(64, fanout=3, rng=seed)
+            g2.publish_all(np.zeros(64))
+            fast.append(g2.rounds_to_convergence())
+        assert np.mean(fast) <= np.mean(slow)
+
+
+class TestMinEIntegration:
+    def test_mine_with_gossiped_views(self):
+        """MinE using per-server gossiped load views still converges when
+        gossip runs a few rounds per sweep (the paper's O(log m) claim)."""
+        import repro
+
+        rng = np.random.default_rng(0)
+        m = 12
+        inst = repro.Instance(
+            rng.uniform(1, 5, m),
+            rng.exponential(50, m),
+            repro.planetlab_like_latency(m, rng=rng),
+        )
+        ref = repro.solve_coordinate_descent(inst).total_cost()
+        state = repro.AllocationState.initial(inst)
+        gossip = GossipNetwork(m, rng=1)
+        gossip.publish_all(state.loads)
+        gossip.rounds_to_convergence()
+
+        opt = repro.MinEOptimizer(state, rng=2, load_view=gossip.view)
+        for _ in range(25):
+            opt.sweep()
+            gossip.publish_all(state.loads)
+            for _ in range(5):  # ~log2(12)+1 rounds of gossip per sweep
+                gossip.round()
+        assert state.total_cost() <= ref * 1.02

@@ -1,0 +1,101 @@
+"""Tests for Floyd–Warshall and latency-matrix completion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.sparse.csgraph import floyd_warshall as scipy_fw
+
+from repro.net.latency import (
+    complete_latency_matrix,
+    floyd_warshall,
+    is_metric,
+    symmetrize,
+)
+
+
+class TestFloydWarshall:
+    def test_simple_shortcut(self):
+        d = np.array(
+            [
+                [0.0, 1.0, 10.0],
+                [1.0, 0.0, 1.0],
+                [10.0, 1.0, 0.0],
+            ]
+        )
+        out = floyd_warshall(d)
+        assert out[0, 2] == pytest.approx(2.0)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            n = int(rng.integers(2, 12))
+            d = rng.uniform(1, 100, (n, n))
+            d = symmetrize(d)
+            np.fill_diagonal(d, 0.0)
+            mine = floyd_warshall(d)
+            ref = scipy_fw(d)
+            assert np.allclose(mine, ref)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            floyd_warshall(np.zeros((2, 3)))
+
+    def test_result_is_metric(self):
+        rng = np.random.default_rng(1)
+        d = rng.uniform(1, 50, (8, 8))
+        np.fill_diagonal(d, 0.0)
+        assert is_metric(floyd_warshall(d))
+
+
+class TestCompletion:
+    def test_fills_missing_entries(self):
+        d = np.array(
+            [
+                [0.0, 2.0, np.inf],
+                [2.0, 0.0, 3.0],
+                [np.inf, 3.0, 0.0],
+            ]
+        )
+        full = complete_latency_matrix(d)
+        assert full[0, 2] == pytest.approx(5.0)
+
+    def test_nan_treated_as_missing(self):
+        d = np.array([[0.0, 1.0], [np.nan, 0.0]])
+        full = complete_latency_matrix(d)
+        assert full[1, 0] == pytest.approx(1.0)
+
+    def test_disconnected_raises(self):
+        d = np.full((3, 3), np.inf)
+        np.fill_diagonal(d, 0.0)
+        with pytest.raises(ValueError, match="disconnected"):
+            complete_latency_matrix(d)
+
+    def test_preserves_measured_shortest(self):
+        """Measured entries can only shrink (if a shorter path exists)."""
+        rng = np.random.default_rng(2)
+        d = rng.uniform(1, 20, (6, 6))
+        d = symmetrize(d)
+        np.fill_diagonal(d, 0.0)
+        full = complete_latency_matrix(d)
+        assert np.all(full <= d + 1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(2, 10))
+def test_completion_always_metric_property(seed, n):
+    rng = np.random.default_rng(seed)
+    d = rng.uniform(0.5, 100.0, (n, n))
+    d = symmetrize(d)
+    np.fill_diagonal(d, 0.0)
+    mask = rng.uniform(size=(n, n)) < 0.3
+    mask = np.triu(mask, 1)
+    d[mask | mask.T] = np.inf
+    np.fill_diagonal(d, 0.0)
+    try:
+        full = complete_latency_matrix(d)
+    except ValueError:
+        return  # disconnected, acceptable
+    assert is_metric(full)
+    assert np.all(np.diagonal(full) == 0)
+    assert np.all(np.isfinite(full))

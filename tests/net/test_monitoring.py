@@ -1,0 +1,76 @@
+"""Tests for the Vivaldi-style latency estimator."""
+
+import numpy as np
+import pytest
+
+from repro.net.monitoring import VivaldiEstimator
+from repro.net.topology import planetlab_like_latency
+
+
+class TestVivaldi:
+    def test_error_decreases_with_training(self):
+        rtt = planetlab_like_latency(30, rng=0)
+        est = VivaldiEstimator(rtt, rng=0)
+        before = est.relative_error()
+        est.fit(rounds=80)
+        after = est.relative_error()
+        assert after < before
+        assert after < 0.25  # network coordinates get within ~25% median
+
+    def test_euclidean_rtt_nearly_exact(self):
+        """A genuinely Euclidean latency matrix embeds almost perfectly."""
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, 100, size=(20, 2))
+        diff = pos[:, None, :] - pos[None, :, :]
+        rtt = np.sqrt((diff**2).sum(-1))
+        est = VivaldiEstimator(rtt, rng=0)
+        est.fit(rounds=200, probes_per_node=6)
+        assert est.relative_error() < 0.12
+
+    def test_predict_self_is_zero(self):
+        rtt = planetlab_like_latency(5, rng=0)
+        est = VivaldiEstimator(rtt, rng=0)
+        assert est.predict(2, 2) == 0.0
+
+    def test_predicted_matrix_symmetric_nonnegative(self):
+        rtt = planetlab_like_latency(10, rng=0)
+        est = VivaldiEstimator(rtt, rng=0)
+        est.fit(rounds=10)
+        p = est.predicted_matrix()
+        assert np.allclose(p, p.T)
+        assert np.all(p >= 0)
+        assert np.all(np.diagonal(p) == 0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            VivaldiEstimator(np.zeros((2, 3)))
+
+    def test_observe_self_is_noop(self):
+        rtt = planetlab_like_latency(5, rng=0)
+        est = VivaldiEstimator(rtt, rng=0)
+        coords = est.coords.copy()
+        est.observe(1, 1)
+        assert np.array_equal(coords, est.coords)
+
+    def test_usable_for_mine_partner_selection(self):
+        """End-to-end: MinE run on Vivaldi-estimated latencies still finds
+        a good allocation when evaluated on true latencies."""
+        import repro
+
+        rng = np.random.default_rng(2)
+        m = 12
+        rtt = planetlab_like_latency(m, rng=rng)
+        speeds = rng.uniform(1, 5, m)
+        loads = rng.exponential(50, m)
+        true_inst = repro.Instance(speeds, loads, rtt)
+        est = VivaldiEstimator(rtt, rng=0)
+        est.fit(rounds=100)
+        est_matrix = est.predicted_matrix()
+        est_inst = repro.Instance(speeds, loads, est_matrix)
+
+        state = repro.AllocationState.initial(est_inst)
+        repro.MinEOptimizer(state, rng=0).run(max_iterations=20)
+        # evaluate the found fractions on the *true* instance
+        evaluated = repro.AllocationState(true_inst, state.R)
+        opt = repro.solve_coordinate_descent(true_inst)
+        assert evaluated.total_cost() <= opt.total_cost() * 1.25

@@ -1,0 +1,90 @@
+"""Tests for the background-load RTT model (Table IV substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.net.rtt_model import BackgroundLoadExperiment, DeviationRow, RttModel
+
+
+class TestRttModel:
+    def test_flat_below_knee(self):
+        m = RttModel(base_ms=50.0, noise_sigma=0.0)
+        rng = np.random.default_rng(0)
+        assert m.sample(0.0, rng)[0] == pytest.approx(50.0)
+        assert m.sample(m.knee, rng)[0] == pytest.approx(50.0)
+
+    def test_inflates_above_knee(self):
+        m = RttModel(base_ms=50.0, noise_sigma=0.0)
+        rng = np.random.default_rng(0)
+        low = m.sample(m.knee + 0.1, rng)[0]
+        high = m.sample(m.knee + 0.4, rng)[0]
+        assert 50.0 < low < high
+
+    def test_utilization_capped(self):
+        m = RttModel(base_ms=10.0, noise_sigma=0.0)
+        rng = np.random.default_rng(0)
+        a = m.sample(m.u_max, rng)[0]
+        b = m.sample(5.0, rng)[0]  # silly over-utilization
+        assert a == pytest.approx(b)
+
+    def test_noise_multiplicative(self):
+        m = RttModel(base_ms=10.0, noise_sigma=0.5)
+        rng = np.random.default_rng(0)
+        samples = m.sample(0.0, rng, samples=2000)
+        assert samples.std() > 1.0
+        assert np.median(samples) == pytest.approx(10.0, rel=0.1)
+
+
+class TestAchievedThroughput:
+    def test_below_fair_share_passes_through(self):
+        exp = BackgroundLoadExperiment(servers=10, rng=0)
+        tb = 1e3
+        actual = exp.achieved_throughput(tb)
+        assert np.allclose(actual, tb)
+
+    def test_collapse_above_fair_share(self):
+        """Requesting far beyond the uplink *reduces* achieved throughput
+        (the Table IV dip)."""
+        exp = BackgroundLoadExperiment(servers=10, rng=0)
+        fair = exp.uplink / exp.neighbors
+        at_fair = exp.achieved_throughput(float(fair.mean()))
+        way_over = exp.achieved_throughput(float(fair.mean() * 10))
+        assert way_over.mean() < at_fair.mean()
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        exp = BackgroundLoadExperiment(servers=30, samples=80, rng=0)
+        return exp.run()
+
+    def test_row_per_throughput(self, rows):
+        assert len(rows) == len(BackgroundLoadExperiment.DEFAULT_THROUGHPUTS)
+
+    def test_baseline_row_is_zero(self, rows):
+        assert rows[0].mu == pytest.approx(0.0, abs=0.02)
+
+    def test_flat_up_to_200kbs(self, rows):
+        """The paper's headline: constant latency below 0.2 MB/s."""
+        for row in rows:
+            if row.throughput_bps <= 200e3:
+                assert abs(row.mu) < 0.05, row.label
+
+    def test_inflation_at_high_load(self, rows):
+        by_tb = {row.throughput_bps: row for row in rows}
+        assert by_tb[2e6].mu > 0.1
+        assert by_tb[2e6].sigma > by_tb[100e3].sigma
+
+    def test_dip_at_unachievable_rate(self, rows):
+        """5 MB/s is not achievable; deviation drops versus 2 MB/s."""
+        by_tb = {row.throughput_bps: row for row in rows}
+        assert by_tb[5e6].mu < by_tb[2e6].mu
+
+    def test_labels(self):
+        assert DeviationRow(10e3, 0, 0).label == "10 KB/s"
+        assert DeviationRow(2e6, 0, 0).label == "2 MB/s"
+
+    def test_needs_baseline(self):
+        exp = BackgroundLoadExperiment(servers=10, samples=10, rng=0)
+        with pytest.raises(ValueError):
+            exp.run(throughputs=(10e3,))

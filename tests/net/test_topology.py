@@ -1,0 +1,74 @@
+"""Tests for the topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.net.latency import is_metric
+from repro.net.topology import (
+    homogeneous_latency,
+    planetlab_like_latency,
+    random_speeds,
+)
+
+
+class TestHomogeneous:
+    def test_constant_offdiagonal(self):
+        c = homogeneous_latency(5, 20.0)
+        off = c[~np.eye(5, dtype=bool)]
+        assert np.all(off == 20.0)
+        assert np.all(np.diagonal(c) == 0.0)
+
+
+class TestPlanetLabLike:
+    def test_basic_shape_and_validity(self):
+        c = planetlab_like_latency(30, rng=0)
+        assert c.shape == (30, 30)
+        assert np.all(np.diagonal(c) == 0)
+        assert np.all(c >= 0)
+        assert np.allclose(c, c.T)
+        assert np.all(np.isfinite(c))
+
+    def test_metric_after_completion(self):
+        c = planetlab_like_latency(25, rng=1)
+        assert is_metric(c, atol=1e-6)
+
+    def test_heterogeneous(self):
+        """Latencies span a wide range (clusters near, continents far)."""
+        c = planetlab_like_latency(40, rng=2)
+        off = c[~np.eye(40, dtype=bool)]
+        assert off.max() / off.min() > 5.0
+
+    def test_deterministic_in_seed(self):
+        a = planetlab_like_latency(10, rng=7)
+        b = planetlab_like_latency(10, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_tiny_network(self):
+        c = planetlab_like_latency(2, rng=0)
+        assert c.shape == (2, 2)
+        assert c[0, 1] > 0
+
+    def test_single_node(self):
+        c = planetlab_like_latency(1, rng=0)
+        assert c.shape == (1, 1)
+
+    def test_cluster_structure(self):
+        """Same-cluster pairs are closer on average than cross-cluster."""
+        rng = np.random.default_rng(3)
+        c = planetlab_like_latency(60, rng=rng, clusters=4, missing_fraction=0.0)
+        # nearest-neighbour latencies should be much smaller than the median
+        near = np.sort(c + np.eye(60) * 1e9, axis=1)[:, 0]
+        assert np.median(near) < 0.4 * np.median(c[~np.eye(60, dtype=bool)])
+
+
+class TestRandomSpeeds:
+    def test_range(self):
+        s = random_speeds(1000, rng=0)
+        assert s.min() >= 1.0
+        assert s.max() <= 5.0
+        assert s.mean() == pytest.approx(3.0, abs=0.15)
+
+    def test_custom_range(self):
+        s = random_speeds(100, rng=0, low=2.0, high=3.0)
+        assert s.min() >= 2.0
+        assert s.max() <= 3.0

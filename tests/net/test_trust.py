@@ -1,0 +1,120 @@
+"""Tests for neighbour-restricted relaying (the §II trust model)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.net.trust import (
+    is_trust_connected,
+    k_nearest_trust,
+    random_trust,
+    restrict_latency,
+    ring_trust,
+)
+
+from ..conftest import make_random_instance
+
+
+class TestMasks:
+    def test_restrict_sets_inf(self):
+        lat = repro.homogeneous_latency(4, 5.0)
+        allowed = np.eye(4, dtype=bool)
+        allowed[0, 1] = True
+        out = restrict_latency(lat, allowed)
+        assert out[0, 1] == 5.0
+        assert np.isinf(out[0, 2])
+        assert out[2, 2] == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            restrict_latency(np.zeros((3, 3)), np.ones((2, 2), dtype=bool))
+
+    def test_k_nearest_counts(self):
+        rng = np.random.default_rng(0)
+        lat = repro.planetlab_like_latency(10, rng=rng)
+        allowed = k_nearest_trust(lat, 3)
+        # self + exactly 3 peers per row
+        assert np.all(allowed.sum(axis=1) == 4)
+        assert np.all(np.diagonal(allowed))
+
+    def test_k_nearest_picks_closest(self):
+        lat = np.array(
+            [
+                [0.0, 1.0, 9.0, 9.0],
+                [1.0, 0.0, 9.0, 9.0],
+                [9.0, 9.0, 0.0, 1.0],
+                [9.0, 9.0, 1.0, 0.0],
+            ]
+        )
+        allowed = k_nearest_trust(lat, 1)
+        assert allowed[0, 1] and allowed[1, 0]
+        assert allowed[2, 3] and allowed[3, 2]
+        assert not allowed[0, 2]
+
+    def test_k_bounds(self):
+        with pytest.raises(ValueError):
+            k_nearest_trust(np.zeros((3, 3)), 3)
+
+    def test_ring(self):
+        allowed = ring_trust(6, hops=1)
+        assert allowed[0, 1] and allowed[0, 5]
+        assert not allowed[0, 2]
+        assert is_trust_connected(allowed)
+
+    def test_ring_hops_validation(self):
+        with pytest.raises(ValueError):
+            ring_trust(5, hops=0)
+
+    def test_random_trust_connectivity_probable(self):
+        allowed = random_trust(30, 0.3, rng=0)
+        assert is_trust_connected(allowed)
+
+    def test_disconnected_detected(self):
+        allowed = np.eye(4, dtype=bool)
+        assert not is_trust_connected(allowed)
+
+
+class TestRestrictedOptimization:
+    def test_solvers_respect_restriction(self, rng):
+        inst = make_random_instance(8, rng)
+        allowed = k_nearest_trust(inst.latency, 2)
+        restricted = repro.Instance(
+            inst.speeds, inst.loads, restrict_latency(inst.latency, allowed)
+        )
+        opt = repro.solve_coordinate_descent(restricted)
+        assert np.all(opt.R[~allowed] == 0.0)
+        assert np.isfinite(opt.total_cost())
+
+    def test_restriction_costs_something(self, rng):
+        """Fewer relay options can only worsen the optimum."""
+        inst = make_random_instance(10, rng)
+        free = repro.solve_coordinate_descent(inst).total_cost()
+        allowed = k_nearest_trust(inst.latency, 2)
+        restricted = repro.Instance(
+            inst.speeds, inst.loads, restrict_latency(inst.latency, allowed)
+        )
+        capped = repro.solve_coordinate_descent(restricted).total_cost()
+        assert capped >= free - 1e-6
+
+    def test_mine_on_restricted_instance(self, rng):
+        inst = make_random_instance(10, rng)
+        allowed = ring_trust(10, hops=2)
+        restricted = repro.Instance(
+            inst.speeds, inst.loads, restrict_latency(inst.latency, allowed)
+        )
+        state = repro.AllocationState.initial(restricted)
+        trace = repro.MinEOptimizer(state, rng=0).run(max_iterations=30)
+        assert np.isfinite(state.total_cost())
+        assert np.all(state.R[~allowed] <= 1e-9)
+        ref = repro.solve_coordinate_descent(restricted).total_cost()
+        assert state.total_cost() <= ref * 1.05
+
+    def test_selfish_dynamics_on_restricted_instance(self, rng):
+        inst = make_random_instance(8, rng)
+        allowed = k_nearest_trust(inst.latency, 3)
+        restricted = repro.Instance(
+            inst.speeds, inst.loads, restrict_latency(inst.latency, allowed)
+        )
+        ne, trace = repro.best_response_dynamics(restricted, rng=0)
+        assert trace.converged
+        assert np.all(ne.R[~allowed] == 0.0)

@@ -1,0 +1,158 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.events import Environment
+
+
+class TestTimeouts:
+    def test_time_advances(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(5.0)
+            log.append(env.now)
+            yield env.timeout(2.5)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [5.0, 7.5]
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_run_until(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            for _ in range(10):
+                yield env.timeout(1.0)
+                log.append(env.now)
+
+        env.process(proc())
+        env.run(until=3.5)
+        assert log == [1.0, 2.0, 3.0]
+        assert env.now == 3.5
+
+    def test_timeout_value_passthrough(self):
+        env = Environment()
+        got = []
+
+        def proc():
+            v = yield env.timeout(1.0, value="payload")
+            got.append(v)
+
+        env.process(proc())
+        env.run()
+        assert got == ["payload"]
+
+
+class TestEventOrdering:
+    def test_fifo_at_equal_times(self):
+        """Events scheduled at the same instant fire in creation order."""
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_interleaving(self):
+        env = Environment()
+        order = []
+
+        def fast():
+            for _ in range(3):
+                yield env.timeout(1.0)
+                order.append(("fast", env.now))
+
+        def slow():
+            for _ in range(2):
+                yield env.timeout(1.5)
+                order.append(("slow", env.now))
+
+        env.process(fast())
+        env.process(slow())
+        env.run()
+        # at t=3.0 both fire; slow scheduled its timeout earlier (at 1.5)
+        # so it pops first (FIFO tie-break by scheduling order)
+        assert order == [
+            ("fast", 1.0),
+            ("slow", 1.5),
+            ("fast", 2.0),
+            ("slow", 3.0),
+            ("fast", 3.0),
+        ]
+
+
+class TestEvents:
+    def test_manual_event_wakes_process(self):
+        env = Environment()
+        gate = env.event()
+        log = []
+
+        def waiter():
+            v = yield gate
+            log.append((env.now, v))
+
+        def opener():
+            yield env.timeout(4.0)
+            gate.succeed("open")
+
+        env.process(waiter())
+        env.process(opener())
+        env.run()
+        assert log == [(4.0, "open")]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_callback_after_trigger_fires_immediately(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed(7)
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        env.run()
+        assert got == [7]
+
+    def test_process_is_awaitable_event(self):
+        """A process can wait for another process to finish."""
+        env = Environment()
+        log = []
+
+        def child():
+            yield env.timeout(2.0)
+            return "done"
+
+        def parent():
+            result = yield env.process(child())
+            log.append((env.now, result))
+
+        env.process(parent())
+        env.run()
+        assert log == [(2.0, "done")]
+
+    def test_non_event_yield_raises(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(TypeError, match="yield Event"):
+            env.run()

@@ -1,0 +1,115 @@
+"""End-to-end integration tests across subsystems."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestFullPipeline:
+    def test_cooperative_pipeline(self):
+        """topology → instance → central solve → distributed solve →
+        error certificate → DES validation, all consistent."""
+        rng = np.random.default_rng(0)
+        m = 10
+        inst = repro.Instance(
+            repro.random_speeds(m, rng=rng),
+            rng.uniform(200, 800, m),
+            repro.planetlab_like_latency(m, rng=rng),
+        )
+        opt = repro.solve_optimal(inst)
+        state = repro.AllocationState.initial(inst)
+        trace = repro.MinEOptimizer(state, rng=1).run(
+            optimum=opt.total_cost(), rel_tol=0.001
+        )
+        assert trace.converged
+        assert trace.iterations <= 12  # the paper's "a dozen messages"
+
+        bound = repro.error_bound(inst, state)
+        actual = float(np.abs(state.R - opt.R).sum())
+        assert bound >= actual * (1 - 1e-9)
+
+        report = repro.simulate_snapshot(inst, state, rng=2)
+        assert report.analytic_gap(state.total_cost()) < 0.05
+
+    def test_selfish_pipeline(self):
+        """Nash dynamics + PoA + homogeneous theory agree."""
+        inst = repro.Instance.homogeneous(10, speed=1.0, delay=2.0, loads=100.0)
+        ratio, ne, opt = repro.price_of_anarchy(inst, rng=0, tol_change=1e-4)
+        assert 1.0 <= ratio <= repro.poa_upper_bound(inst) + 1e-2
+        assert repro.lemma3_violation(inst, ne) <= 1e-2
+        assert repro.nash_gap(inst, ne) < 1e-2
+
+    def test_cdn_pipeline(self):
+        """Replication + discrete rounding: the CDN use-case of §VII."""
+        rng = np.random.default_rng(3)
+        m = 6
+        speeds = repro.random_speeds(m, rng=rng)
+        latency = repro.planetlab_like_latency(m, rng=rng)
+        # Zipf-ish content popularity → task sizes
+        sizes = 1.0 / np.arange(1, 41) ** 0.8
+        task_sets = [repro.TaskSet(i, sizes * (1 + i)) for i in range(m)]
+        opt, assignments = repro.solve_discrete(speeds, latency, task_sets)
+        assert len(assignments) == m
+
+        # replicated fractional solve obeys caps
+        inst = opt.inst
+        R = 2
+        rep = repro.solve_replicated(inst, R)
+        rho = rep.fractions()
+        assert np.all(rho <= 1.0 / R + 1e-9)
+        placement = repro.sample_replica_placement(rho[0], R, rng=rng)
+        assert len(set(placement.tolist())) == R
+
+    def test_gossip_driven_distributed_balancing(self):
+        """The full distributed stack: gossip views + MinE + negative-cycle
+        removal reach near-optimal cost."""
+        rng = np.random.default_rng(4)
+        m = 15
+        inst = repro.Instance(
+            repro.random_speeds(m, rng=rng),
+            rng.exponential(100, m),
+            repro.planetlab_like_latency(m, rng=rng),
+        )
+        ref = repro.solve_optimal(inst).total_cost()
+        state = repro.AllocationState.initial(inst)
+        gossip = repro.GossipNetwork(m, rng=5)
+        gossip.publish_all(state.loads)
+        gossip.rounds_to_convergence()
+        opt = repro.MinEOptimizer(
+            state, rng=6, load_view=gossip.view, cycle_removal_every=3
+        )
+        for _ in range(20):
+            opt.sweep()
+            gossip.publish_all(state.loads)
+            for _ in range(5):
+                gossip.round()
+        assert state.total_cost() <= ref * 1.02
+        state.check_invariants()
+
+    def test_monitored_latency_pipeline(self):
+        """Vivaldi-estimated latencies drive the optimizer; evaluated on
+        the true network the solution is still good."""
+        rng = np.random.default_rng(7)
+        m = 10
+        true_lat = repro.planetlab_like_latency(m, rng=rng)
+        speeds = repro.random_speeds(m, rng=rng)
+        loads = rng.uniform(100, 400, m)
+        est = repro.VivaldiEstimator(true_lat, rng=8)
+        est.fit(rounds=120)
+        est_inst = repro.Instance(speeds, loads, est.predicted_matrix())
+        state = repro.AllocationState.initial(est_inst)
+        repro.MinEOptimizer(state, rng=9).run(max_iterations=25)
+        true_inst = repro.Instance(speeds, loads, true_lat)
+        achieved = repro.AllocationState(true_inst, state.R).total_cost()
+        best = repro.solve_optimal(true_inst).total_cost()
+        assert achieved <= best * 1.3
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
