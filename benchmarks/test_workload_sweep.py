@@ -1,0 +1,53 @@
+"""Workload sweep — throughput of the config-driven batch runner.
+
+Sweeps every registered preset through the full solver + simulator stack
+and reports per-cell wall time.  The trimmed grid keeps the default suite
+fast; ``REPRO_FULL=1`` runs production-sized networks.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import PRESETS, ScenarioRunner
+
+from .conftest import full_run
+
+SIZES = (50, 100, 200) if full_run() else (12, 20)
+SEEDS = (0, 1, 2) if full_run() else (0, 1)
+
+
+def test_workload_sweep_all_presets(benchmark):
+    names = sorted(s.name for s in PRESETS)
+    runner = ScenarioRunner(
+        names,
+        sizes=SIZES,
+        seeds=SEEDS,
+        mine_max_iterations=30,
+        mine_rel_tol=0.01,
+        stream_events_target=1000.0,
+    )
+    report = benchmark.pedantic(runner.run, rounds=1, iterations=1)
+
+    assert len(report) == len(names) * len(SIZES) * len(SEEDS)
+    print()
+    print(f"scenario sweep: {len(report)} cells "
+          f"({len(names)} scenarios × {SIZES} × {len(SEEDS)} seeds)")
+    for row in report.summary():
+        print(
+            f"  {row['scenario']:<22} m={row['m']:<4d} "
+            f"opt={row['optimal_cost']:12.1f} "
+            f"MinE err={row['mine_final_error']:7.4f} "
+            f"PoA={row['poa_ratio']:6.3f} "
+            f"latency={row['stream_mean_latency']:7.2f} ms"
+        )
+    # Every cell produced a full metric row.
+    assert all(r.optimal_cost > 0 for r in report)
+    assert all(r.mine_iterations >= 1 for r in report)
+    assert all(r.stream_completed > 0 for r in report)
+    # The distributed algorithm lands near the optimum on every scenario
+    # family, not just the paper's two.
+    assert max(r.mine_final_error for r in report) < 0.25
+
+    total = sum(r.elapsed_s for r in report)
+    slowest = max(report, key=lambda r: r.elapsed_s)
+    print(f"  total solver time {total:.2f} s; slowest cell "
+          f"{slowest.scenario} m={slowest.m} at {slowest.elapsed_s:.2f} s")

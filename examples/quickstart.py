@@ -6,7 +6,10 @@ optimum centrally, runs the *distributed* Min-Error algorithm to the same
 answer, and reports the Proposition 1 error certificate along the way.
 
 Run: python examples/quickstart.py
+(set REPRO_EXAMPLE_M to scale the network, e.g. the test suite uses 8)
 """
+
+import os
 
 import numpy as np
 
@@ -15,7 +18,7 @@ import repro
 
 def main() -> None:
     rng = np.random.default_rng(42)
-    m = 25
+    m = int(os.environ.get("REPRO_EXAMPLE_M", "25"))
 
     # --- the system: speeds, initial loads, pairwise latencies (ms) ------
     inst = repro.Instance(

@@ -24,6 +24,19 @@ Quickstart
 >>> trace = repro.MinEOptimizer(state, rng=0).run(     # distributed MinE
 ...     optimum=opt.total_cost(), rel_tol=0.02)
 >>> ratio, ne, _ = repro.price_of_anarchy(inst, rng=0, optimum=opt)
+
+Scenario sweeps (:mod:`repro.workloads`) replace hand-built instances with
+named presets and run whole grids through every solver in one call:
+
+>>> from repro.workloads import ScenarioRunner, get_scenario, list_scenarios
+>>> sorted(list_scenarios())[:2]
+['cdn-flashcrowd', 'datacenter-fattree']
+>>> inst = get_scenario("cdn-flashcrowd").instance(m=30, seed=1)
+>>> report = ScenarioRunner(
+...     ["paper-planetlab", "cdn-flashcrowd"], sizes=[20, 30], seeds=[0, 1]
+... ).run()
+>>> len(report)  # one row per (scenario, size, seed)
+8
 """
 
 from .core import *  # noqa: F401,F403 - curated in core.__all__
@@ -43,8 +56,17 @@ from .net import (
     random_speeds,
 )
 from .sim import simulate_snapshot, simulate_stream
+from .workloads import (
+    Scenario,
+    ScenarioReport,
+    ScenarioResult,
+    ScenarioRunner,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = list(_core_all) + [
     "min_cost_flow",
@@ -59,5 +81,12 @@ __all__ = list(_core_all) + [
     "VivaldiEstimator",
     "simulate_snapshot",
     "simulate_stream",
+    "Scenario",
+    "ScenarioReport",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
     "__version__",
 ]

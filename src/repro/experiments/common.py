@@ -16,6 +16,7 @@ The paper's settings (Section VI-A):
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Iterator, Literal
 
@@ -23,6 +24,11 @@ import numpy as np
 
 from ..core.instance import Instance
 from ..net.topology import homogeneous_latency, planetlab_like_latency
+from ..workloads.topologies import (
+    fat_tree_latency,
+    ring_of_clusters_latency,
+    star_hub_latency,
+)
 
 __all__ = [
     "LoadKind",
@@ -31,6 +37,7 @@ __all__ = [
     "Setting",
     "make_instance",
     "paper_settings",
+    "scenario_instances",
     "PAPER_SIZES",
     "PAPER_AVG_LOADS",
     "PEAK_TOTAL",
@@ -38,7 +45,10 @@ __all__ = [
 ]
 
 LoadKind = Literal["uniform", "exponential", "peak"]
-NetworkKind = Literal["homogeneous", "planetlab"]
+#: The paper's two networks plus the :mod:`repro.workloads` families.
+NetworkKind = Literal[
+    "homogeneous", "planetlab", "fattree", "ring-of-clusters", "star"
+]
 SpeedKind = Literal["uniform", "constant"]
 
 PAPER_SIZES = (20, 30, 50, 100, 200, 300)
@@ -82,16 +92,17 @@ def _make_loads(
 
 def make_instance(setting: Setting) -> Instance:
     """Materialize the instance for one experimental cell (deterministic in
-    the setting's seed)."""
+    the setting's seed — ``crc32``, not the per-process-randomized builtin
+    ``hash``, so the same cell is bit-identical across runs and machines)."""
     rng = np.random.default_rng(
         np.random.SeedSequence(
             entropy=0xC0FFEE,
             spawn_key=(
                 setting.m,
-                hash(setting.load_kind) & 0xFFFF,
+                zlib.crc32(setting.load_kind.encode()) & 0xFFFF,
                 int(setting.avg_load),
-                hash(setting.network) & 0xFFFF,
-                hash(setting.speed_kind) & 0xFFFF,
+                zlib.crc32(setting.network.encode()) & 0xFFFF,
+                zlib.crc32(setting.speed_kind.encode()) & 0xFFFF,
                 setting.seed,
             ),
         )
@@ -101,11 +112,24 @@ def make_instance(setting: Setting) -> Instance:
     else:
         speeds = np.ones(setting.m)
     loads = _make_loads(setting.load_kind, setting.m, setting.avg_load, rng)
-    if setting.network == "homogeneous":
-        latency = homogeneous_latency(setting.m, 20.0)
-    else:
-        latency = planetlab_like_latency(setting.m, rng=rng)
+    latency = _make_latency(setting.network, setting.m, rng)
     return Instance(speeds, loads, latency)
+
+
+def _make_latency(
+    network: NetworkKind, m: int, rng: np.random.Generator
+) -> np.ndarray:
+    if network == "homogeneous":
+        return homogeneous_latency(m, 20.0)
+    if network == "planetlab":
+        return planetlab_like_latency(m, rng=rng)
+    if network == "fattree":
+        return fat_tree_latency(m, rng=rng)
+    if network == "ring-of-clusters":
+        return ring_of_clusters_latency(m, rng=rng)
+    if network == "star":
+        return star_hub_latency(m, rng=rng)
+    raise ValueError(f"unknown network kind {network!r}")
 
 
 def paper_settings(
@@ -126,3 +150,21 @@ def paper_settings(
                 for net in networks:
                     for rep in range(repetitions):
                         yield Setting(m, kind, avg, net, speed_kind, rep)
+
+
+def scenario_instances(
+    names: str | Iterator[str] | tuple[str, ...] | list[str],
+    *,
+    sizes: tuple[int, ...] | None = None,
+    seeds: tuple[int, ...] = (0,),
+) -> Iterator[tuple[str, int, int, Instance]]:
+    """Bridge the :mod:`repro.workloads` registry into experiment scripts:
+    yield ``(name, m, seed, instance)`` for exactly the cells a
+    :class:`~repro.workloads.ScenarioRunner` with the same arguments would
+    execute (the enumeration is delegated to it), for scripts that want
+    the raw instances instead of the metric table."""
+    from ..workloads.runner import ScenarioRunner
+
+    runner = ScenarioRunner(names, sizes=sizes, seeds=tuple(seeds))
+    for sc, m, seed in runner.grid():
+        yield sc.name, m, seed, sc.instance(m, seed=seed)

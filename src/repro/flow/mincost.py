@@ -55,6 +55,13 @@ def _dijkstra(
             if g.cap[e] <= 1e-12:
                 continue
             v = int(g.to[e])
+            if done[v]:
+                # Re-relaxing a finalized node (possible when round-off
+                # leaves a residual arc with a slightly negative reduced
+                # cost) would rewrite pred_arc after descendants already
+                # point through v, creating a cycle in the predecessor
+                # chain — the path walk-back would then never terminate.
+                continue
             nd = d + g.cost[e] + potential[u] - potential[v]
             if nd < dist[v] - 1e-15:
                 dist[v] = nd

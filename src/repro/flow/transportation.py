@@ -9,11 +9,15 @@ removes all of them at once with a min-cost max-flow instance:
   ``out(ρ', i) = Σ_{j≠i} r_ij`` (requests ``i`` relays away);
 * back vertex ``j_b`` demanding ``in(ρ', j) = Σ_{i≠j} r_ij`` (foreign
   requests ``j`` executes);
-* arcs ``i_f → j_b`` with cost ``c_ij`` and infinite capacity.
+* arcs ``i_f → j_b`` with cost ``c_ij`` and infinite capacity — including
+  the zero-cost ``i_f → i_b`` arcs, through which relayed requests
+  *return home* and become self-executed (how 2-cycles dismantle).
 
 The optimal flow re-wires who relays to whom at minimal total latency;
-self-executed requests ``r_ii`` are untouched.  Afterwards no negative
-cycle can remain (one would contradict flow optimality).
+every server's load ``l_j`` is preserved exactly, and the self-execution
+diagonal ``r_ii`` can only grow (requests return home, never leave it).
+Afterwards no negative cycle can remain (one would contradict flow
+optimality).
 """
 
 from __future__ import annotations
@@ -93,12 +97,12 @@ def remove_negative_cycles(state: AllocationState) -> float:
     if out_amt.sum() <= 1e-12:
         return 0.0
     before = float((inst.latency * R).sum())
-    # Only i ≠ j arcs exist in the appendix construction: relaying "to
-    # yourself" is not relaying (self-executed requests are the diagonal,
-    # handled separately).
-    cost = inst.latency.copy()
-    np.fill_diagonal(cost, np.inf)
-    flow = solve_transportation(out_amt, in_amt, cost)
+    # The zero-cost i_f → i_b arcs let relayed requests return home: flow
+    # f_ii turns into self-execution (r_ii grows by f_ii) while the load
+    # l_i = r_ii + Σ_k f_ki is preserved.  Without them a pure swap
+    # (i → j → i, a Section IV-B negative 2-cycle) could never be
+    # dismantled because out/in totals alone admit no other rewiring.
+    flow = solve_transportation(out_amt, in_amt, inst.latency)
     new_R = flow
     new_R[np.arange(m), np.arange(m)] += diag
     after = float((inst.latency * new_R).sum())

@@ -1,0 +1,72 @@
+"""Scenario & workload generation: parametric traffic, new topology
+families, a named-scenario registry and a config-driven batch runner.
+
+Three-line sweep:
+
+>>> from repro.workloads import ScenarioRunner
+>>> report = ScenarioRunner(
+...     ["paper-planetlab", "cdn-flashcrowd"], sizes=[20, 50], seeds=[0, 1]
+... ).run()
+>>> report.summary()  # per-scenario mean optimum / MinE error / PoA / latency
+
+Single instances come straight out of the registry and feed any solver:
+
+>>> from repro.workloads import get_scenario
+>>> inst = get_scenario("federation-diurnal").instance(m=30, seed=1)
+"""
+
+from .loadmodels import (
+    CorrelatedSurgeLoads,
+    DiurnalLoads,
+    ExponentialLoads,
+    FlashCrowdLoads,
+    LoadModel,
+    LognormalLoads,
+    ParetoLoads,
+    UniformLoads,
+    scale_to_average,
+)
+from .runner import ScenarioReport, ScenarioResult, ScenarioRunner
+from .scenario import (
+    PRESETS,
+    Scenario,
+    TopologyFactory,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from .topologies import (
+    fat_tree_latency,
+    measured_latency,
+    ring_of_clusters_latency,
+    star_hub_latency,
+)
+
+__all__ = [
+    # load models
+    "LoadModel",
+    "UniformLoads",
+    "ExponentialLoads",
+    "DiurnalLoads",
+    "FlashCrowdLoads",
+    "ParetoLoads",
+    "LognormalLoads",
+    "CorrelatedSurgeLoads",
+    "scale_to_average",
+    # topologies
+    "fat_tree_latency",
+    "ring_of_clusters_latency",
+    "star_hub_latency",
+    "measured_latency",
+    # scenarios
+    "Scenario",
+    "TopologyFactory",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "PRESETS",
+    # batch runner
+    "ScenarioRunner",
+    "ScenarioReport",
+    "ScenarioResult",
+]

@@ -1,0 +1,300 @@
+"""Config-driven batch runner: one call sweeps a whole scenario grid.
+
+:class:`ScenarioRunner` takes scenarios (names or :class:`Scenario`
+objects), a list of sizes and a list of seeds, materializes every cell of
+the cartesian grid and pushes each instance through the full solver stack:
+
+* ``solve_optimal`` — the cooperative optimum (always computed; it anchors
+  every other metric);
+* ``MinEOptimizer`` — the distributed algorithm, reporting its final
+  relative error against the optimum;
+* ``price_of_anarchy`` — selfish equilibrium cost ratio (reuses the
+  already-computed optimum instead of re-solving);
+* ``simulate_stream`` — the discrete-event steady-state simulation under
+  the optimal routing fractions, with the arrival rate auto-scaled so
+  every cell simulates a comparable number of events.
+
+Results land in a :class:`ScenarioReport` — a light tabular container with
+one :class:`ScenarioResult` row per ``(scenario, m, seed)`` cell, CSV
+export and per-scenario aggregation.
+
+Each cell solves the cooperative optimum once and shares that state with
+every downstream metric (MinE's stop criterion, the PoA denominator, the
+stream simulator's routing fractions) — the expensive array work is done
+once per cell, not once per metric.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+import time
+from dataclasses import dataclass, fields
+from typing import Callable, Iterable, Sequence, Union
+
+import numpy as np
+
+from ..core.game import price_of_anarchy
+from ..core.qp import solve_optimal
+from ..core.distributed import MinEOptimizer
+from ..core.state import AllocationState
+from ..sim.runner import simulate_stream
+from .scenario import Scenario, get_scenario
+
+__all__ = ["ScenarioResult", "ScenarioReport", "ScenarioRunner"]
+
+#: Metrics the runner knows how to compute.  ``"optimal"`` is implied —
+#: it is the reference point of the other three.
+KNOWN_METRICS = ("optimal", "mine", "poa", "stream")
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One row of a sweep: every metric for one ``(scenario, m, seed)``."""
+
+    scenario: str
+    m: int
+    seed: int
+    total_load: float
+    initial_cost: float          #: ΣCi with everyone running locally
+    optimal_cost: float          #: ΣCi at the cooperative optimum
+    mine_final_error: float      #: (ΣCi_MinE − ΣCi*) / ΣCi* at stop
+    mine_iterations: int         #: MinE sweeps executed
+    mine_converged: bool
+    poa_ratio: float             #: ΣCi(NE) / ΣCi(OPT)
+    stream_mean_latency: float   #: measured mean request latency (ms)
+    stream_completed: int        #: requests finished before the horizon
+    elapsed_s: float             #: wall time of this cell
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class ScenarioReport:
+    """Tabular sweep results: a sequence of :class:`ScenarioResult` rows."""
+
+    columns: tuple[str, ...] = tuple(f.name for f in fields(ScenarioResult))
+
+    def __init__(self, rows: Sequence[ScenarioResult]):
+        self.rows = list(rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __getitem__(self, idx):
+        return self.rows[idx]
+
+    def as_dicts(self) -> list[dict]:
+        return [r.as_dict() for r in self.rows]
+
+    def column(self, name: str) -> np.ndarray:
+        """One column across all rows as an array."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return np.asarray([getattr(r, name) for r in self.rows])
+
+    def filter(self, **eq) -> "ScenarioReport":
+        """Rows whose fields equal all given values, e.g.
+        ``report.filter(scenario="cdn-flashcrowd", m=50)``."""
+        rows = [
+            r for r in self.rows
+            if all(getattr(r, k) == v for k, v in eq.items())
+        ]
+        return ScenarioReport(rows)
+
+    def summary(self) -> list[dict]:
+        """Per-(scenario, m) means over seeds — the shape of the paper's
+        tables (each cell averaged over repetitions)."""
+        groups: dict[tuple[str, int], list[ScenarioResult]] = {}
+        for r in self.rows:
+            groups.setdefault((r.scenario, r.m), []).append(r)
+        out = []
+        for (name, m), rs in sorted(groups.items()):
+            out.append({
+                "scenario": name,
+                "m": m,
+                "runs": len(rs),
+                "optimal_cost": float(np.mean([r.optimal_cost for r in rs])),
+                "mine_final_error": float(np.mean([r.mine_final_error for r in rs])),
+                "poa_ratio": float(np.mean([r.poa_ratio for r in rs])),
+                "stream_mean_latency": float(
+                    np.mean([r.stream_mean_latency for r in rs])
+                ),
+            })
+        return out
+
+    def to_csv(self, path: Union[str, os.PathLike, None] = None) -> str:
+        """Render as CSV; also write it to ``path`` when given."""
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=self.columns, lineterminator="\n")
+        writer.writeheader()
+        for r in self.rows:
+            writer.writerow(r.as_dict())
+        text = buf.getvalue()
+        if path is not None:
+            with open(os.fspath(path), "w", newline="") as fh:
+                fh.write(text)
+        return text
+
+    def __repr__(self) -> str:
+        names = sorted({r.scenario for r in self.rows})
+        return f"ScenarioReport({len(self.rows)} rows, scenarios={names})"
+
+
+ScenarioLike = Union[str, Scenario]
+
+
+class ScenarioRunner:
+    """Execute a scenario grid through the full solver + simulator stack.
+
+    Parameters
+    ----------
+    scenarios:
+        Scenario names (looked up in the registry) and/or
+        :class:`Scenario` objects, in any mix.
+    sizes:
+        Organization counts to sweep; ``None`` uses each scenario's own
+        default ``m``.
+    seeds:
+        Replication seeds; each contributes one run per (scenario, size).
+    metrics:
+        Subset of ``("mine", "poa", "stream")`` to compute on top of the
+        always-on cooperative optimum.  Dropped metrics report ``nan``/0.
+    mine_max_iterations, mine_rel_tol:
+        Stop criteria for the distributed MinE run.
+    stream_horizon:
+        Simulated time units for :func:`repro.simulate_stream`.
+    stream_events_target:
+        The Poisson arrival rate is scaled so a cell generates roughly
+        this many events regardless of its total load, keeping the
+        pure-python event loop's cost flat across the sweep.
+    solver_tol:
+        Tolerance of the cooperative-optimum solve.
+    """
+
+    def __init__(
+        self,
+        scenarios: Iterable[ScenarioLike] | ScenarioLike,
+        *,
+        sizes: Sequence[int] | None = None,
+        seeds: Sequence[int] = (0,),
+        metrics: Sequence[str] = ("mine", "poa", "stream"),
+        mine_max_iterations: int = 60,
+        mine_rel_tol: float = 0.01,
+        stream_horizon: float = 4.0,
+        stream_events_target: float = 2000.0,
+        solver_tol: float = 1e-9,
+    ):
+        if isinstance(scenarios, (str, Scenario)):
+            scenarios = [scenarios]
+        self.scenarios: list[Scenario] = [
+            s if isinstance(s, Scenario) else get_scenario(s) for s in scenarios
+        ]
+        if not self.scenarios:
+            raise ValueError("at least one scenario is required")
+        unknown = set(metrics) - set(KNOWN_METRICS)
+        if unknown:
+            raise ValueError(f"unknown metrics {sorted(unknown)}; "
+                             f"choose from {KNOWN_METRICS}")
+        self.sizes = None if sizes is None else tuple(int(m) for m in sizes)
+        self.seeds = tuple(int(s) for s in seeds)
+        if not self.seeds:
+            raise ValueError("at least one seed is required")
+        self.metrics = frozenset(metrics) | {"optimal"}
+        self.mine_max_iterations = int(mine_max_iterations)
+        self.mine_rel_tol = float(mine_rel_tol)
+        self.stream_horizon = float(stream_horizon)
+        self.stream_events_target = float(stream_events_target)
+        self.solver_tol = float(solver_tol)
+
+    # ------------------------------------------------------------------
+    def grid(self) -> list[tuple[Scenario, int, int]]:
+        """The cartesian (scenario, m, seed) cells, in declared order —
+        report rows and CSV output follow this order exactly."""
+        cells = []
+        for sc in self.scenarios:
+            for m in (self.sizes if self.sizes is not None else (sc.m,)):
+                for seed in self.seeds:
+                    cells.append((sc, int(m), int(seed)))
+        return cells
+
+    # ------------------------------------------------------------------
+    def _run_cell(self, sc: Scenario, m: int, seed: int) -> ScenarioResult:
+        t0 = time.perf_counter()
+        inst = sc.instance(m, seed=seed)
+        # Independent sub-streams for the stochastic stages, derived from
+        # the cell coordinates so each stage is individually reproducible.
+        mine_rng, poa_rng, sim_rng = sc.rng(m, seed).spawn(3)
+
+        state = AllocationState.initial(inst)
+        initial_cost = state.total_cost()
+        opt = solve_optimal(inst, tol=self.solver_tol)
+        opt_cost = opt.total_cost()
+
+        mine_err, mine_iters, mine_conv = float("nan"), 0, False
+        if "mine" in self.metrics:
+            # MinE mutates `state` in place; initial_cost was read above.
+            trace = MinEOptimizer(state, rng=mine_rng).run(
+                max_iterations=self.mine_max_iterations,
+                optimum=opt_cost,
+                rel_tol=self.mine_rel_tol,
+            )
+            denom = opt_cost if opt_cost > 0 else 1.0
+            mine_err = max(0.0, (trace.costs[-1] - opt_cost) / denom)
+            mine_iters = trace.iterations
+            mine_conv = trace.converged
+
+        poa = float("nan")
+        if "poa" in self.metrics:
+            poa, _, _ = price_of_anarchy(inst, rng=poa_rng, optimum=opt)
+
+        stream_mean, stream_done = float("nan"), 0
+        if "stream" in self.metrics:
+            expected = inst.total_load * self.stream_horizon
+            scale = (
+                self.stream_events_target / expected if expected > 0 else 1.0
+            )
+            report = simulate_stream(
+                inst, opt,
+                horizon=self.stream_horizon,
+                arrival_rate_scale=scale,
+                rng=sim_rng,
+            )
+            stream_mean = float(report.mean_latency)
+            stream_done = int(report.completed)
+
+        return ScenarioResult(
+            scenario=sc.name,
+            m=m,
+            seed=seed,
+            total_load=inst.total_load,
+            initial_cost=initial_cost,
+            optimal_cost=opt_cost,
+            mine_final_error=mine_err,
+            mine_iterations=mine_iters,
+            mine_converged=mine_conv,
+            poa_ratio=poa,
+            stream_mean_latency=stream_mean,
+            stream_completed=stream_done,
+            elapsed_s=time.perf_counter() - t0,
+        )
+
+    def run(
+        self, *, progress: Callable[[ScenarioResult], None] | None = None
+    ) -> ScenarioReport:
+        """Execute every grid cell and return the collected report.
+
+        ``progress`` (if given) is called with each finished row — handy
+        for printing long sweeps as they go.
+        """
+        rows = []
+        for sc, m, seed in self.grid():
+            row = self._run_cell(sc, m, seed)
+            rows.append(row)
+            if progress is not None:
+                progress(row)
+        return ScenarioReport(rows)

@@ -1,0 +1,172 @@
+"""Topology families beyond the paper's two Section VI-A networks.
+
+Each generator mirrors the :mod:`repro.net.topology` contract — it returns
+an ``(m, m)`` symmetric latency matrix in milliseconds with a zero
+diagonal that satisfies the triangle inequality, so every existing solver
+and the §II model assumptions carry over unchanged.
+
+* :func:`fat_tree_latency` — hierarchical datacenter: latency depends only
+  on the lowest common level (rack / pod / core) of the two hosts, an
+  ultrametric like real Clos fabrics.
+* :func:`ring_of_clusters_latency` — geo-distributed sites on a ring
+  (the classic multi-region WAN backbone); inter-site latency grows with
+  ring distance, plus per-node access delays.
+* :func:`star_hub_latency` — a hub-and-spoke federation: every exchange
+  transits a central IXP/hub, ``c_ij = h_i + h_j``.
+* :func:`measured_latency` — load a measured RTT matrix (array, ``.npy``
+  or delimited text), symmetrize it and complete missing pairs by
+  shortest paths, exactly as the paper prepared the iPlane data.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from ..net.latency import complete_latency_matrix, symmetrize
+
+__all__ = [
+    "fat_tree_latency",
+    "ring_of_clusters_latency",
+    "star_hub_latency",
+    "measured_latency",
+]
+
+
+def _as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    return rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+
+def fat_tree_latency(
+    m: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    racks_per_pod: int = 4,
+    hosts_per_rack: int | None = None,
+    level_ms: tuple[float, float, float] = (0.1, 0.5, 2.0),
+    jitter: float = 0.0,
+) -> np.ndarray:
+    """Hierarchical datacenter latencies (fat-tree/Clos-like).
+
+    Hosts are packed into racks of ``hosts_per_rack`` (default: spread the
+    ``m`` hosts over ``~sqrt(m)`` racks), racks into pods of
+    ``racks_per_pod``.  A pair's latency is ``level_ms[0]`` within a rack,
+    ``level_ms[1]`` within a pod and ``level_ms[2]`` across the core.
+
+    ``level_ms`` must be non-decreasing; the result is then an ultrametric
+    (``c_ij ≤ max(c_ik, c_kj)``), hence metric.  ``jitter`` adds a small
+    uniform per-pair perturbation of at most ``jitter · level_ms[0] / 2``,
+    kept below half the rack latency so the triangle inequality survives.
+    """
+    rng = _as_rng(rng)
+    lo, mid, hi = (float(x) for x in level_ms)
+    if not 0 < lo <= mid <= hi:
+        raise ValueError("level_ms must be positive and non-decreasing")
+    if m < 1:
+        return np.zeros((m, m))
+    if hosts_per_rack is None:
+        hosts_per_rack = max(1, int(round(np.sqrt(m))))
+    rack = np.arange(m) // hosts_per_rack
+    pod = rack // racks_per_pod
+    same_rack = rack[:, None] == rack[None, :]
+    same_pod = pod[:, None] == pod[None, :]
+    c = np.where(same_rack, lo, np.where(same_pod, mid, hi))
+    if jitter > 0:
+        eps = rng.uniform(0.0, min(jitter, 0.99) * lo / 2.0, size=(m, m))
+        c = c + symmetrize(eps)
+    c = np.ascontiguousarray(c)
+    np.fill_diagonal(c, 0.0)
+    return c
+
+
+def ring_of_clusters_latency(
+    m: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    clusters: int = 6,
+    hop_ms: float = 25.0,
+    access_ms: tuple[float, float] = (1.0, 4.0),
+) -> np.ndarray:
+    """Geo-clusters on a WAN ring (eu-west → us-east → us-west → ap-…).
+
+    Node ``i`` lives in cluster ``g_i`` and pays an access delay
+    ``a_i ~ U(access_ms)``.  Latency is
+    ``c_ij = a_i + a_j + hop_ms · ringdist(g_i, g_j)`` where ``ringdist``
+    is the shorter arc between the clusters.  Ring distance is a metric
+    and the access terms are a per-endpoint potential, so the triangle
+    inequality holds for every triple.
+    """
+    rng = _as_rng(rng)
+    if m < 1:
+        return np.zeros((m, m))
+    k = max(1, min(clusters, m))
+    group = rng.integers(0, k, size=m)
+    access = rng.uniform(access_ms[0], access_ms[1], size=m)
+    diff = np.abs(group[:, None] - group[None, :])
+    ringdist = np.minimum(diff, k - diff)
+    c = access[:, None] + access[None, :] + float(hop_ms) * ringdist
+    np.fill_diagonal(c, 0.0)
+    return c
+
+
+def star_hub_latency(
+    m: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    spoke_ms: tuple[float, float] = (5.0, 50.0),
+) -> np.ndarray:
+    """Hub-and-spoke: all traffic transits a central exchange.
+
+    Spoke delays ``h_i ~ U(spoke_ms)`` give ``c_ij = h_i + h_j`` — a
+    metric (it is the shortest-path metric of the star graph).
+    """
+    rng = _as_rng(rng)
+    if m < 1:
+        return np.zeros((m, m))
+    h = rng.uniform(spoke_ms[0], spoke_ms[1], size=m)
+    c = h[:, None] + h[None, :]
+    np.fill_diagonal(c, 0.0)
+    return c
+
+
+def measured_latency(
+    source: Union[np.ndarray, str, os.PathLike],
+    *,
+    make_symmetric: bool = True,
+    complete: bool = True,
+) -> np.ndarray:
+    """Load a measured RTT matrix and prepare it the paper's way.
+
+    ``source`` may be an array, a ``.npy`` file or a delimited text/CSV
+    file.  Missing measurements (``nan`` or ``inf``) are filled by
+    shortest-path completion when ``complete`` is true; asymmetric
+    matrices are averaged when ``make_symmetric`` is true.  The diagonal
+    is forced to zero.  Raises when the measurement graph is disconnected
+    or contains negative entries.
+    """
+    if isinstance(source, np.ndarray):
+        c = np.array(source, dtype=np.float64)
+    else:
+        path = os.fspath(source)
+        if path.endswith(".npy"):
+            c = np.load(path).astype(np.float64)
+        else:
+            c = np.loadtxt(path, delimiter="," if path.endswith(".csv") else None)
+            c = np.atleast_2d(np.asarray(c, dtype=np.float64))
+    if c.ndim != 2 or c.shape[0] != c.shape[1]:
+        raise ValueError(f"latency matrix must be square, got shape {c.shape}")
+    if np.any(c[~np.isnan(c)] < 0):
+        raise ValueError("measured latencies must be non-negative")
+    c = np.where(np.isnan(c), np.inf, c)
+    if make_symmetric:
+        # Average where both directions were measured; a single-direction
+        # measurement covers both (RTTs are symmetric).
+        both = np.isfinite(c) & np.isfinite(c.T)
+        c = np.where(both, symmetrize(c), np.minimum(c, c.T))
+    np.fill_diagonal(c, 0.0)
+    missing = np.isinf(c)
+    if complete and missing.any():
+        c = complete_latency_matrix(c, assume_symmetric=make_symmetric)
+    return c

@@ -59,10 +59,17 @@ class TestPlacementSampling:
     def test_returns_distinct_servers(self, rng):
         m, R = 10, 3
         rho = rng.dirichlet(np.ones(m))
-        rho = np.minimum(rho, 1.0 / R)
-        rho += (1.0 - rho.sum()) / m  # make it feasible-ish
-        rho = np.minimum(rho, 1.0 / R)
-        rho /= rho.sum()
+        # Project onto the capped simplex: clip at 1/R and hand the excess
+        # to uncapped entries until the cap holds everywhere (feasible
+        # since m/R > 1).  A plain renormalization would push clipped
+        # entries back above the cap.
+        for _ in range(m):
+            excess = float(np.maximum(rho - 1.0 / R, 0.0).sum())
+            rho = np.minimum(rho, 1.0 / R)
+            if excess <= 1e-15:
+                break
+            uncapped = rho < 1.0 / R - 1e-12
+            rho[uncapped] += excess / uncapped.sum()
         placement = sample_replica_placement(rho, R, rng=rng)
         assert placement.shape == (R,)
         assert np.unique(placement).shape[0] == R

@@ -64,7 +64,12 @@ class TestGreedyRounding:
             exact = rounding_error(
                 sizes, targets, round_tasks_bruteforce(sizes, targets)
             )
-            assert greedy <= exact * 2 + 1e-6  # heuristic within 2x of optimal
+            # The greedy heuristic carries an *additive* guarantee (its
+            # error is within O(max task size) of optimal); a
+            # multiplicative one is impossible — the optimum can be
+            # arbitrarily close to 0 while any greedy misplacement costs
+            # a constant.
+            assert greedy <= exact + 2 * sizes.max() + 1e-6
 
     def test_bruteforce_guard(self):
         with pytest.raises(ValueError, match="brute force"):

@@ -70,12 +70,15 @@ class TestNegativeCycleRemoval:
             assert st.total_cost() <= cost + 1e-6
             st.check_invariants()
 
-    def test_self_execution_untouched(self, rng):
+    def test_self_execution_never_leaves_home(self, rng):
+        """The reduction only re-wires relays: self-executed requests stay
+        home, and relayed requests may *return* home (that is how 2-cycles
+        dismantle), so the diagonal can only grow."""
         inst = make_random_instance(5, rng)
         st = random_state(inst, rng)
         diag = np.diagonal(st.R).copy()
         remove_negative_cycles(st)
-        assert np.allclose(np.diagonal(st.R), diag)
+        assert np.all(np.diagonal(st.R) >= diag - 1e-9)
 
     def test_noop_on_local_allocation(self, rng):
         inst = make_random_instance(5, rng)

@@ -1,0 +1,153 @@
+"""Tests for the config-driven batch runner."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ExponentialLoads,
+    Scenario,
+    ScenarioReport,
+    ScenarioResult,
+    ScenarioRunner,
+    fat_tree_latency,
+    get_scenario,
+)
+
+FAST = dict(
+    mine_max_iterations=8,
+    mine_rel_tol=0.05,
+    stream_horizon=2.0,
+    stream_events_target=300.0,
+    solver_tol=1e-8,
+)
+
+
+@pytest.fixture(scope="module")
+def small_report() -> ScenarioReport:
+    """The acceptance-criteria sweep: 4 presets × 2 sizes × 2 seeds."""
+    runner = ScenarioRunner(
+        [
+            "paper-homogeneous",
+            "paper-planetlab",
+            "cdn-flashcrowd",
+            "federation-diurnal",
+        ],
+        sizes=[8, 12],
+        seeds=[0, 1],
+        **FAST,
+    )
+    return runner.run()
+
+
+class TestRunner:
+    def test_one_row_per_cell(self, small_report):
+        assert len(small_report) == 4 * 2 * 2
+        cells = {(r.scenario, r.m, r.seed) for r in small_report}
+        assert len(cells) == 16  # no duplicates
+
+    def test_rows_carry_all_metrics(self, small_report):
+        for r in small_report:
+            assert r.optimal_cost > 0
+            assert r.initial_cost >= r.optimal_cost * (1 - 1e-9)
+            assert math.isfinite(r.mine_final_error) and r.mine_final_error >= 0
+            assert r.mine_iterations >= 1
+            assert math.isfinite(r.poa_ratio) and r.poa_ratio >= 1 - 1e-6
+            assert math.isfinite(r.stream_mean_latency)
+            assert r.stream_completed > 0
+
+    def test_deterministic(self):
+        kw = dict(sizes=[8], seeds=[3], **FAST)
+        a = ScenarioRunner("hub-heavytail", **kw).run()
+        b = ScenarioRunner("hub-heavytail", **kw).run()
+        assert a[0].optimal_cost == b[0].optimal_cost
+        assert a[0].mine_final_error == b[0].mine_final_error
+        assert a[0].poa_ratio == b[0].poa_ratio
+        assert a[0].stream_mean_latency == b[0].stream_mean_latency
+
+    def test_accepts_scenario_objects_and_default_size(self):
+        sc = Scenario(
+            name="inline-object",
+            topology=fat_tree_latency,
+            load_model=ExponentialLoads(10.0),
+            m=7,
+        )
+        report = ScenarioRunner(sc, metrics=(), **{
+            k: v for k, v in FAST.items() if k.startswith(("mine", "solver"))
+        }).run()
+        assert len(report) == 1
+        assert report[0].m == 7
+        # disabled metrics are nan / neutral, the optimum is always there
+        assert report[0].optimal_cost > 0
+        assert math.isnan(report[0].poa_ratio)
+        assert math.isnan(report[0].stream_mean_latency)
+
+    def test_metric_subset(self):
+        report = ScenarioRunner(
+            "paper-homogeneous", sizes=[6], metrics=("poa",), **FAST
+        ).run()
+        assert math.isnan(report[0].mine_final_error)
+        assert report[0].poa_ratio >= 1 - 1e-6
+
+    def test_grid_in_declared_order(self):
+        runner = ScenarioRunner(
+            ["paper-homogeneous", "cdn-flashcrowd"], sizes=[12, 6], seeds=[0, 1]
+        )
+        cells = [(sc.name, m, seed) for sc, m, seed in runner.grid()]
+        assert cells == [
+            ("paper-homogeneous", 12, 0), ("paper-homogeneous", 12, 1),
+            ("paper-homogeneous", 6, 0), ("paper-homogeneous", 6, 1),
+            ("cdn-flashcrowd", 12, 0), ("cdn-flashcrowd", 12, 1),
+            ("cdn-flashcrowd", 6, 0), ("cdn-flashcrowd", 6, 1),
+        ]
+
+    def test_progress_callback(self):
+        seen = []
+        ScenarioRunner("paper-homogeneous", sizes=[6], **FAST).run(
+            progress=seen.append
+        )
+        assert len(seen) == 1 and isinstance(seen[0], ScenarioResult)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown metrics"):
+            ScenarioRunner("paper-homogeneous", metrics=("bogus",))
+        with pytest.raises(ValueError, match="at least one seed"):
+            ScenarioRunner("paper-homogeneous", seeds=())
+        with pytest.raises(ValueError, match="at least one scenario"):
+            ScenarioRunner([])
+        with pytest.raises(KeyError, match="unknown scenario"):
+            ScenarioRunner("no-such-scenario")
+
+    def test_mine_agrees_with_optimum(self, small_report):
+        # MinE runs to its rel_tol stop or stalls close to it on these
+        # small instances; the certificate is loose, not wild.
+        for r in small_report:
+            assert r.mine_final_error < 0.5
+
+
+class TestReport:
+    def test_column_and_filter(self, small_report):
+        costs = small_report.column("optimal_cost")
+        assert costs.shape == (16,)
+        sub = small_report.filter(scenario="cdn-flashcrowd", m=8)
+        assert len(sub) == 2
+        with pytest.raises(KeyError):
+            small_report.column("nope")
+
+    def test_summary_groups(self, small_report):
+        summary = small_report.summary()
+        assert len(summary) == 8  # 4 scenarios × 2 sizes
+        assert all(s["runs"] == 2 for s in summary)
+
+    def test_csv_roundtrip(self, small_report, tmp_path):
+        path = tmp_path / "report.csv"
+        text = small_report.to_csv(path)
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        assert len(lines) == 1 + 16
+        assert lines[0].startswith("scenario,m,seed,")
+
+    def test_as_dicts(self, small_report):
+        dicts = small_report.as_dicts()
+        assert dicts[0]["scenario"] == small_report[0].scenario

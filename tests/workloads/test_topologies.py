@@ -1,0 +1,126 @@
+"""Unit tests for :mod:`repro.workloads.topologies`."""
+
+import numpy as np
+import pytest
+
+from repro.net.latency import is_metric
+from repro.workloads import (
+    fat_tree_latency,
+    measured_latency,
+    ring_of_clusters_latency,
+    star_hub_latency,
+)
+
+GENERATORS = [
+    fat_tree_latency,
+    ring_of_clusters_latency,
+    star_hub_latency,
+]
+
+
+@pytest.mark.parametrize("gen", GENERATORS, ids=lambda g: g.__name__)
+class TestAllGenerators:
+    def test_valid_latency_matrix(self, gen):
+        c = gen(30, rng=np.random.default_rng(0))
+        assert c.shape == (30, 30)
+        assert np.all(np.isfinite(c))
+        assert np.all(np.diagonal(c) == 0)
+        off = c[~np.eye(30, dtype=bool)]
+        assert np.all(off > 0)
+        np.testing.assert_allclose(c, c.T)
+
+    def test_metric(self, gen):
+        c = gen(25, rng=np.random.default_rng(3))
+        assert is_metric(c)
+
+    def test_deterministic(self, gen):
+        a = gen(20, rng=np.random.default_rng(7))
+        b = gen(20, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFatTree:
+    def test_hierarchy_levels(self):
+        c = fat_tree_latency(
+            16, hosts_per_rack=4, racks_per_pod=2, level_ms=(0.1, 0.5, 2.0)
+        )
+        assert c[0, 1] == pytest.approx(0.1)   # same rack
+        assert c[0, 4] == pytest.approx(0.5)   # same pod, other rack
+        assert c[0, 8] == pytest.approx(2.0)   # across the core
+        assert is_metric(c)
+
+    def test_jitter_keeps_metric(self):
+        c = fat_tree_latency(
+            24, rng=np.random.default_rng(0), jitter=0.9,
+            hosts_per_rack=4, racks_per_pod=2,
+        )
+        assert is_metric(c)
+
+    def test_rejects_decreasing_levels(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            fat_tree_latency(8, level_ms=(1.0, 0.5, 2.0))
+
+
+class TestRing:
+    def test_farther_clusters_cost_more(self):
+        rng = np.random.default_rng(0)
+        c = ring_of_clusters_latency(40, rng=rng, clusters=4, hop_ms=50.0)
+        assert c.max() >= 50.0  # at least one max-arc pair exists
+
+
+class TestStar:
+    def test_structure(self):
+        c = star_hub_latency(10, rng=np.random.default_rng(0), spoke_ms=(5.0, 50.0))
+        # c_ij = h_i + h_j: the spoke delays are recoverable from any
+        # triple, and they reconstruct the whole matrix.
+        h = np.array([(c[i, (i + 1) % 10] + c[i, (i + 2) % 10] - c[(i + 1) % 10, (i + 2) % 10]) / 2 for i in range(10)])
+        np.testing.assert_allclose(h[:, None] + h[None, :] - np.diag(2 * h), c, atol=1e-9)
+
+
+class TestMeasured:
+    def test_array_passthrough(self):
+        c0 = star_hub_latency(8, rng=np.random.default_rng(0))
+        c = measured_latency(c0)
+        np.testing.assert_allclose(c, c0)
+
+    def test_completes_missing_pairs(self):
+        c0 = ring_of_clusters_latency(10, rng=np.random.default_rng(1))
+        partial = c0.copy()
+        partial[2, 5] = partial[5, 2] = np.nan
+        c = measured_latency(partial)
+        assert np.isfinite(c[2, 5])
+        assert is_metric(c)
+
+    def test_one_sided_measurement_covers_both(self):
+        c0 = star_hub_latency(6, rng=np.random.default_rng(2))
+        partial = c0.copy()
+        partial[1, 3] = np.inf  # only the 3→1 direction measured
+        c = measured_latency(partial)
+        assert c[1, 3] == pytest.approx(c0[3, 1])
+
+    def test_loads_npy_and_csv(self, tmp_path):
+        c0 = fat_tree_latency(6)
+        npy = tmp_path / "lat.npy"
+        np.save(npy, c0)
+        np.testing.assert_allclose(measured_latency(npy), c0)
+        csv = tmp_path / "lat.csv"
+        np.savetxt(csv, c0, delimiter=",")
+        np.testing.assert_allclose(measured_latency(csv), c0)
+
+    def test_rejects_negative(self):
+        bad = np.zeros((3, 3))
+        bad[0, 1] = bad[1, 0] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            measured_latency(bad)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            measured_latency(np.zeros((2, 3)))
+
+    def test_disconnected_raises(self):
+        c = np.full((4, 4), np.inf)
+        np.fill_diagonal(c, 0.0)
+        c[0, 1] = c[1, 0] = 1.0
+        c[2, 3] = c[3, 2] = 1.0
+        with pytest.raises(ValueError, match="disconnected"):
+            measured_latency(c)
