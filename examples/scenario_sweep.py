@@ -9,6 +9,11 @@ cooperative optimum, the distributed MinE algorithm, the selfish
 best-response dynamics and the discrete-event stream simulator, and
 returns a tabular report.
 
+Execution goes through :mod:`repro.engine`: set
+``REPRO_SWEEP_BACKEND=process`` to fan the cells out over every core —
+each cell carries its own deterministic seeds, so the parallel report is
+bitwise-identical to the serial one.
+
 Run: python examples/scenario_sweep.py
 (set REPRO_EXAMPLE_M to scale the sweep, e.g. the test suite uses 8)
 """
@@ -45,10 +50,12 @@ def main() -> None:
         mine_rel_tol=0.01,
         stream_events_target=1000.0,
     )
+    backend = os.environ.get("REPRO_SWEEP_BACKEND", "serial")
     cells = len(runner.grid())
     print(f"\nsweeping {len(PRESETS)} scenarios × {sizes} × seeds {seeds} "
-          f"= {cells} runs ...")
+          f"= {cells} runs ({backend} backend) ...")
     report = runner.run(
+        backend=backend,
         progress=lambda r: print(
             f"  {r.scenario:22s} m={r.m:3d} seed={r.seed}  "
             f"opt={r.optimal_cost:12.1f}  MinE err={r.mine_final_error:7.4f} "

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Solver shootout: every registered algorithm on the same instance.
+
+The :mod:`repro.engine` registry gives every algorithm in the repo — the
+centralized optimum, the three MinE partner strategies, the four
+baselines the paper argues against and the selfish best-response
+dynamics — one calling convention and one return type
+(:class:`repro.SolveResult`).  That makes "compare all algorithms on a
+scenario" a five-line loop, with cost, iteration count and wall time
+coming back uniformly.
+
+Run: python examples/solver_shootout.py
+(set REPRO_EXAMPLE_M to change the instance size)
+"""
+
+import os
+
+from repro.engine import get_solver, list_solvers
+from repro.workloads import get_scenario
+
+SCENARIO = "cdn-flashcrowd"
+
+
+def main() -> None:
+    m = int(os.environ.get("REPRO_EXAMPLE_M", "40"))
+    inst = get_scenario(SCENARIO).instance(m=m, seed=0)
+    print(f"scenario {SCENARIO!r}, m={m}, total load {inst.total_load:.0f}\n")
+
+    opt = get_solver("optimal").solve(inst)
+    print(f"{'solver':<20} {'ΣCi':>12} {'vs opt':>8} {'iters':>6} {'wall':>9}")
+    for name in sorted(list_solvers()):
+        res = (
+            opt
+            if name == "optimal"
+            else get_solver(name).solve(inst, rng=0, optimum=opt.total_cost)
+        )
+        gap = res.relative_error(opt.total_cost)
+        print(
+            f"{name:<20} {res.total_cost:12.1f} {gap:8.2%} "
+            f"{res.iterations:6d} {res.wall_time_s * 1e3:7.1f}ms"
+        )
+
+    print(
+        "\nthe cooperative optimum anchors every comparison; "
+        "baselines trail it, MinE closes the gap in a few sweeps"
+    )
+
+
+if __name__ == "__main__":
+    main()

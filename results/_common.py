@@ -1,0 +1,44 @@
+"""Shared bootstrap, CLI and grid definitions for the ``results/``
+scripts, so :mod:`run_experiments` and :mod:`rerun_conv` cannot drift
+apart.
+
+Importing this module makes ``repro`` importable: it prefers the
+installed package and falls back to the checkout's ``src/`` layout.
+"""
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+try:
+    import repro  # noqa: F401,E402 - installed package
+except ImportError:  # checkout without an install: use the src layout
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Tables I/II measurement grid (matching EXPERIMENTS.md).
+TABLE_SIZES = (20, 30, 50, 100)
+TABLE_AVGS = (10, 50, 1000)
+TABLE_TOLS = (("table1", 0.02), ("table2", 0.001))
+
+#: Figure 2 large-scale traces.
+FIGURE2_SIZES = (500, 1000, 2000)
+FIGURE2_ITERATIONS = 20
+
+DEFAULT_OUT = str(REPO_ROOT / "results" / "experiments.json")
+
+
+def build_parser(description: str) -> argparse.ArgumentParser:
+    """The common CLI: execution backend, worker count, output path."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--backend", default="serial",
+                        choices=("serial", "process", "chunked"))
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    return parser
+
+
+def exec_kwargs(args: argparse.Namespace) -> dict:
+    """The engine-execution keywords every grid function accepts."""
+    return dict(backend=args.backend, max_workers=args.workers)

@@ -1,13 +1,52 @@
-import json, time
+#!/usr/bin/env python
+"""Refresh only the convergence entries (Tables I/II + Figure 2) of an
+existing ``experiments.json`` — cheaper than a full
+:mod:`results.run_experiments` rerun after a solver change.  The
+bootstrap, grids and CLI are shared with ``run_experiments.py`` via
+``_common.py``.
+
+Usage::
+
+    python results/rerun_conv.py [--backend process] [--workers N]
+                                 [--out results/experiments.json]
+"""
+
+import json
+import pathlib
+import time
+
+from _common import (
+    FIGURE2_ITERATIONS,
+    FIGURE2_SIZES,
+    TABLE_AVGS,
+    TABLE_SIZES,
+    TABLE_TOLS,
+    build_parser,
+    exec_kwargs,
+)
 from repro.experiments.convergence import convergence_table, figure2_traces
-d = json.load(open('/root/repo/results/experiments.json'))
-t0 = time.time()
-SIZES = (20, 30, 50, 100); AVGS = (10, 50, 1000)
-for name, tol in (("table1", 0.02), ("table2", 0.001)):
-    cells = convergence_table(tol, sizes=SIZES, avg_loads=AVGS)
-    d[name] = [vars(c) for c in cells]
-    print(name, 'done at', time.time()-t0, flush=True)
-traces = figure2_traces(sizes=(500, 1000, 2000), iterations=20)
-d['figure2'] = {str(k): v for k, v in traces.items()}
-json.dump(d, open('/root/repo/results/experiments.json', 'w'), indent=1)
-print('written', time.time()-t0)
+
+
+def main(argv=None):
+    args = build_parser(__doc__).parse_args(argv)
+    exec_kw = exec_kwargs(args)
+
+    path = pathlib.Path(args.out)
+    d = json.loads(path.read_text()) if path.exists() else {}
+    t0 = time.time()
+    for name, tol in TABLE_TOLS:
+        cells = convergence_table(
+            tol, sizes=TABLE_SIZES, avg_loads=TABLE_AVGS, **exec_kw
+        )
+        d[name] = [vars(c) for c in cells]
+        print(name, "done at", f"{time.time() - t0:.0f}s", flush=True)
+    traces = figure2_traces(
+        sizes=FIGURE2_SIZES, iterations=FIGURE2_ITERATIONS, **exec_kw
+    )
+    d["figure2"] = {str(k): v for k, v in traces.items()}
+    path.write_text(json.dumps(d, indent=1))
+    print(f"written {path} at {time.time() - t0:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

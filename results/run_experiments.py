@@ -1,36 +1,75 @@
 #!/usr/bin/env python
-"""Generate the EXPERIMENTS.md measurement data (all tables + Figure 2)."""
-import json, sys, time
+"""Generate the EXPERIMENTS.md measurement data (all tables + Figure 2).
 
+Runs against the installed ``repro`` package (``pip install -e .``); when
+run straight from a checkout it falls back to the ``src/`` layout (the
+bootstrap, grids and CLI are shared with ``rerun_conv.py`` via
+``_common.py``).  Grid execution goes through :mod:`repro.engine` — pass
+``--backend process`` to use every core (results are identical to a
+serial run).
+
+Usage::
+
+    python results/run_experiments.py [--backend process] [--workers N]
+                                      [--out results/experiments.json]
+"""
+
+import json
+import time
+
+from _common import (
+    FIGURE2_ITERATIONS,
+    FIGURE2_SIZES,
+    TABLE_AVGS,
+    TABLE_SIZES,
+    TABLE_TOLS,
+    build_parser,
+    exec_kwargs,
+)
 from repro.experiments.convergence import convergence_table, figure2_traces
-from repro.experiments.selfishness import selfishness_table
 from repro.experiments.rtt_validation import rtt_table
+from repro.experiments.selfishness import selfishness_table
 
-out = {}
-t0 = time.time()
 
-print("Table I/II grids...", flush=True)
-SIZES = (20, 30, 50, 100)
-AVGS = (10, 50, 1000)
-for name, tol in (("table1", 0.02), ("table2", 0.001)):
-    cells = convergence_table(tol, sizes=SIZES, avg_loads=AVGS, progress=True)
-    out[name] = [vars(c) for c in cells]
-    print(f"{name} done at {time.time()-t0:.0f}s", flush=True)
+def main(argv=None):
+    args = build_parser(__doc__).parse_args(argv)
+    exec_kw = exec_kwargs(args)
 
-print("Table III...", flush=True)
-cells = selfishness_table(sizes=(20, 30, 50), avg_loads=(10, 20, 50, 200, 1000), progress=True)
-out["table3"] = [vars(c) for c in cells]
-print(f"table3 done at {time.time()-t0:.0f}s", flush=True)
+    out = {}
+    t0 = time.time()
 
-print("Table IV...", flush=True)
-rows = rtt_table(servers=60, samples=300, seed=0)
-out["table4"] = [{"tb": r.label, "mu": r.mu, "sigma": r.sigma} for r in rows]
+    print("Table I/II grids...", flush=True)
+    for name, tol in TABLE_TOLS:
+        cells = convergence_table(
+            tol, sizes=TABLE_SIZES, avg_loads=TABLE_AVGS, progress=True,
+            **exec_kw,
+        )
+        out[name] = [vars(c) for c in cells]
+        print(f"{name} done at {time.time() - t0:.0f}s", flush=True)
 
-print("Figure 2...", flush=True)
-traces = figure2_traces(sizes=(500, 1000, 2000), iterations=20)
-out["figure2"] = {str(k): v for k, v in traces.items()}
-print(f"all done at {time.time()-t0:.0f}s", flush=True)
+    print("Table III...", flush=True)
+    cells = selfishness_table(
+        sizes=(20, 30, 50), avg_loads=(10, 20, 50, 200, 1000),
+        progress=True, **exec_kw,
+    )
+    out["table3"] = [vars(c) for c in cells]
+    print(f"table3 done at {time.time() - t0:.0f}s", flush=True)
 
-with open("/root/repo/results/experiments.json", "w") as f:
-    json.dump(out, f, indent=1)
-print("written /root/repo/results/experiments.json")
+    print("Table IV...", flush=True)
+    rows = rtt_table(servers=60, samples=300, seed=0)
+    out["table4"] = [{"tb": r.label, "mu": r.mu, "sigma": r.sigma} for r in rows]
+
+    print("Figure 2...", flush=True)
+    traces = figure2_traces(
+        sizes=FIGURE2_SIZES, iterations=FIGURE2_ITERATIONS, **exec_kw
+    )
+    out["figure2"] = {str(k): v for k, v in traces.items()}
+    print(f"all done at {time.time() - t0:.0f}s", flush=True)
+
+    with open(args.out, "w") as f:
+        json.dump(out, f, indent=1)
+    print(f"written {args.out}")
+
+
+if __name__ == "__main__":
+    main()

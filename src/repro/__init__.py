@@ -37,10 +37,32 @@ named presets and run whole grids through every solver in one call:
 ... ).run()
 >>> len(report)  # one row per (scenario, size, seed)
 8
+
+Every algorithm is also reachable by name through the :mod:`repro.engine`
+solver registry (one calling convention, one ``SolveResult`` return), and
+grids execute on the engine's pluggable backends — ``run(backend=
+"process")`` uses every core with bitwise-identical results, and a JSONL
+result store makes long sweeps crash-safe and resumable:
+
+>>> res = repro.get_solver("mine-exact").solve(inst, rng=0)
+>>> report = ScenarioRunner(
+...     ["cdn-flashcrowd"], sizes=[20]
+... ).run(backend="process", store="sweep.jsonl")   # doctest: +SKIP
 """
 
 from .core import *  # noqa: F401,F403 - curated in core.__all__
 from .core import __all__ as _core_all
+from .engine import (
+    JsonlStore,
+    SolveResult,
+    SweepEngine,
+    get_evaluator,
+    get_solver,
+    list_evaluators,
+    list_solvers,
+    register_evaluator,
+    register_solver,
+)
 from .flow import (
     min_cost_flow,
     remove_negative_cycles,
@@ -88,5 +110,14 @@ __all__ = list(_core_all) + [
     "register_scenario",
     "get_scenario",
     "list_scenarios",
+    "SolveResult",
+    "register_solver",
+    "get_solver",
+    "list_solvers",
+    "register_evaluator",
+    "get_evaluator",
+    "list_evaluators",
+    "SweepEngine",
+    "JsonlStore",
     "__version__",
 ]

@@ -30,7 +30,6 @@ import numpy as np
 
 from .instance import Instance
 from .state import AllocationState
-from .waterfill import waterfill
 
 __all__ = [
     "round_robin",

@@ -1,0 +1,62 @@
+"""Unified solver registry and parallel sweep engine.
+
+This layer turns the repo's many algorithms into interchangeable,
+discoverable parts and makes "run a grid of cells" a first-class,
+parallel, resumable operation:
+
+* :mod:`repro.engine.result` — :class:`SolveResult`, the common return
+  type of every solver: allocation, total cost, wall time, iteration
+  count and free-form metadata.
+* :mod:`repro.engine.registry` — the :class:`Solver` protocol and the
+  named registry (:func:`register_solver` / :func:`get_solver`) wrapping
+  every algorithm in the repo, plus the evaluator registry
+  (:func:`register_evaluator`) for metrics computed *on top of* an
+  allocation (e.g. the discrete-event stream simulation).
+* :mod:`repro.engine.backends` — pluggable execution backends
+  (``serial``, ``process``, ``chunked``) that run a picklable cell
+  function over a list of cells.
+* :mod:`repro.engine.store` — :class:`JsonlStore`, an append-only JSONL
+  result store making long sweeps crash-safe and resumable.
+* :mod:`repro.engine.sweep` — :class:`SweepEngine`, tying the three
+  together: cells × function × backend × store → ordered results.
+
+Quick tour:
+
+>>> from repro.engine import get_solver, list_solvers
+>>> sorted(list_solvers())[:3]
+['best-response', 'makespan-greedy', 'mine-auto']
+>>> res = get_solver("mine-exact").solve(inst, rng=0)   # doctest: +SKIP
+>>> res.total_cost, res.iterations, res.wall_time_s     # doctest: +SKIP
+"""
+
+from .backends import BACKENDS, resolve_workers, run_cells
+from .registry import (
+    FunctionSolver,
+    Solver,
+    get_evaluator,
+    get_solver,
+    list_evaluators,
+    list_solvers,
+    register_evaluator,
+    register_solver,
+)
+from .result import SolveResult
+from .store import JsonlStore
+from .sweep import SweepEngine
+
+__all__ = [
+    "SolveResult",
+    "Solver",
+    "FunctionSolver",
+    "register_solver",
+    "get_solver",
+    "list_solvers",
+    "register_evaluator",
+    "get_evaluator",
+    "list_evaluators",
+    "BACKENDS",
+    "run_cells",
+    "resolve_workers",
+    "JsonlStore",
+    "SweepEngine",
+]

@@ -1,0 +1,357 @@
+"""Named solver registry — one calling convention for every algorithm.
+
+Every algorithm in the repo (the centralized optimum solvers, the three
+MinE partner strategies, the four baselines, the selfish best-response
+dynamics) is registered under a stable name and called the same way::
+
+    result = get_solver("mine-exact").solve(inst, rng=0, optimum=opt_cost)
+
+returning a :class:`~repro.engine.result.SolveResult` with the
+allocation, the objective, the wall time and solver metadata.  New
+algorithms plug in with the :func:`register_solver` decorator::
+
+    @register_solver("my-heuristic", kind="baseline")
+    def _my_heuristic(inst, *, rng=None, optimum=None, **options):
+        return some_allocation_state          # or (state, extras_dict)
+
+A parallel, much smaller *evaluator* registry covers metrics computed on
+top of an allocation rather than producing one — e.g. the discrete-event
+stream simulation (``"stream"``) and the snapshot validation
+(``"snapshot"``).  Evaluators take ``(inst, state)`` and return a flat
+``dict`` of scalars.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core import baselines as _baselines
+from ..core.distributed import MinEOptimizer
+from ..core.game import best_response_dynamics
+from ..core.instance import Instance
+from ..core.qp import solve_optimal
+from ..core.state import AllocationState
+from ..sim.runner import simulate_snapshot, simulate_stream
+from .result import SolveResult
+
+__all__ = [
+    "Solver",
+    "FunctionSolver",
+    "register_solver",
+    "get_solver",
+    "list_solvers",
+    "register_evaluator",
+    "get_evaluator",
+    "list_evaluators",
+]
+
+@runtime_checkable
+class Solver(Protocol):
+    """Anything with a name that can solve an instance."""
+
+    name: str
+
+    def solve(
+        self,
+        inst: Instance,
+        *,
+        rng: np.random.Generator | int | None = None,
+        optimum: float | None = None,
+        **options,
+    ) -> SolveResult: ...
+
+
+#: Raw solver functions return the allocation, optionally with an extras
+#: dict whose ``iterations`` / ``converged`` keys are lifted into the
+#: :class:`SolveResult`; everything else lands in ``metadata``.
+SolverFn = Callable[..., "AllocationState | tuple[AllocationState, dict]"]
+
+
+@dataclass(frozen=True)
+class FunctionSolver:
+    """A registered solver: a raw function plus its registry identity.
+
+    :meth:`solve` measures wall time around the raw call and normalizes
+    the return value into a :class:`SolveResult`.
+    """
+
+    name: str
+    fn: SolverFn = field(compare=False)
+    kind: str = "solver"  #: "optimal" | "distributed" | "baseline" | "equilibrium"
+    description: str = field(default="", compare=False)
+
+    def solve(
+        self,
+        inst: Instance,
+        *,
+        rng: np.random.Generator | int | None = None,
+        optimum: float | None = None,
+        **options,
+    ) -> SolveResult:
+        t0 = time.perf_counter()
+        out = self.fn(inst, rng=rng, optimum=optimum, **options)
+        wall = time.perf_counter() - t0
+        extras: dict[str, Any] = {}
+        if isinstance(out, tuple):
+            state, extras = out
+            extras = dict(extras)
+        else:
+            state = out
+        # Solvers that already computed ΣCi hand it over via extras
+        # instead of paying the O(m²) reduction a second time.
+        total_cost = extras.pop("total_cost", None)
+        return SolveResult(
+            solver=self.name,
+            state=state,
+            total_cost=state.total_cost() if total_cost is None else total_cost,
+            wall_time_s=wall,
+            iterations=int(extras.pop("iterations", 0)),
+            converged=bool(extras.pop("converged", True)),
+            metadata=extras,
+        )
+
+    def __call__(self, inst: Instance, **kw) -> SolveResult:
+        return self.solve(inst, **kw)
+
+
+_SOLVERS: dict[str, FunctionSolver] = {}
+
+
+def register_solver(
+    name: str,
+    fn: SolverFn | None = None,
+    *,
+    kind: str = "solver",
+    description: str = "",
+    overwrite: bool = False,
+) -> Callable[[SolverFn], FunctionSolver] | FunctionSolver:
+    """Register ``fn`` under ``name``; usable directly or as a decorator."""
+
+    def _register(f: SolverFn) -> FunctionSolver:
+        if not overwrite and name in _SOLVERS:
+            raise ValueError(
+                f"solver {name!r} is already registered "
+                "(pass overwrite=True to replace it)"
+            )
+        solver = FunctionSolver(name=name, fn=f, kind=kind, description=description)
+        _SOLVERS[name] = solver
+        return solver
+
+    return _register if fn is None else _register(fn)
+
+
+def get_solver(name: str) -> FunctionSolver:
+    """Look up a registered solver by name."""
+    try:
+        return _SOLVERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SOLVERS))
+        raise KeyError(f"unknown solver {name!r}; registered: {known}") from None
+
+
+def list_solvers(kind: str | None = None) -> dict[str, str]:
+    """``{name: description}`` of registered solvers, optionally by kind."""
+    return {
+        n: s.description
+        for n, s in sorted(_SOLVERS.items())
+        if kind is None or s.kind == kind
+    }
+
+
+# ----------------------------------------------------------------------
+# Built-in solvers
+# ----------------------------------------------------------------------
+def _as_optimum_cost(optimum) -> float | None:
+    if optimum is None:
+        return None
+    if isinstance(optimum, AllocationState):
+        return optimum.total_cost()
+    return float(optimum)
+
+
+@register_solver(
+    "optimal",
+    kind="optimal",
+    description="Cooperative optimum (coordinate descent / FISTA / scipy QP)",
+)
+def _solve_optimal(inst, *, rng=None, optimum=None, method="auto", tol=1e-12):
+    state = solve_optimal(inst, method=method, tol=tol)
+    return state, {"method": method, "tol": tol}
+
+
+def _make_mine(strategy):
+    def _solve(
+        inst,
+        *,
+        rng=None,
+        optimum=None,
+        max_iterations=100,
+        rel_tol=None,
+        snapshot_partner_selection=False,
+        **options,
+    ):
+        state = AllocationState.initial(inst)
+        optimizer = MinEOptimizer(
+            state,
+            rng=rng,
+            strategy=strategy,
+            snapshot_partner_selection=snapshot_partner_selection,
+            **options,
+        )
+        trace = optimizer.run(
+            max_iterations=max_iterations,
+            optimum=_as_optimum_cost(optimum),
+            rel_tol=rel_tol,
+        )
+        return state, {
+            "iterations": trace.iterations,
+            "converged": trace.converged,
+            "strategy": strategy,
+            "initial_cost": trace.costs[0],
+            "total_cost": trace.costs[-1],  # final ΣCi, already computed
+        }
+
+    return _solve
+
+
+for _strategy in ("exact", "screened", "auto"):
+    register_solver(
+        f"mine-{_strategy}",
+        _make_mine(_strategy),
+        kind="distributed",
+        description=f"Distributed MinE (Algorithms 1+2), {_strategy} partner choice",
+    )
+del _strategy
+
+
+@register_solver(
+    "best-response",
+    kind="equilibrium",
+    description="Selfish best-response dynamics to an approximate Nash equilibrium",
+)
+def _solve_best_response(
+    inst, *, rng=None, optimum=None, max_rounds=500, tol_change=0.01, **options
+):
+    ne, trace = best_response_dynamics(
+        inst, rng=rng, max_rounds=max_rounds, tol_change=tol_change, **options
+    )
+    c_ne = ne.total_cost()
+    extras = {
+        "iterations": trace.rounds,
+        "converged": trace.converged,
+        "total_cost": c_ne,
+    }
+    opt_cost = _as_optimum_cost(optimum)
+    if opt_cost is not None:
+        # Degenerate zero-cost optimum → ratio 1, matching price_of_anarchy.
+        extras["poa_ratio"] = c_ne / opt_cost if opt_cost > 0 else 1.0
+    return ne, extras
+
+
+def _make_baseline(fn):
+    def _solve(inst, *, rng=None, optimum=None, **options):
+        return fn(inst, **options), {"family": "baseline"}
+
+    return _solve
+
+
+for _name, _fn, _desc in (
+    ("round-robin", _baselines.round_robin, "Spread requests equally over all servers"),
+    ("nearest-server", _baselines.nearest_server, "Latency-greedy, congestion-blind"),
+    ("proportional-speed", _baselines.proportional_speed,
+     "Congestion-only l_j/s_j equalization, latency-blind"),
+    ("makespan-greedy", _baselines.makespan_greedy,
+     "Greedy list scheduling for the Cmax objective"),
+):
+    register_solver(_name, _make_baseline(_fn), kind="baseline", description=_desc)
+del _name, _fn, _desc
+
+
+# ----------------------------------------------------------------------
+# Evaluators: metrics computed on top of an existing allocation
+# ----------------------------------------------------------------------
+EvaluatorFn = Callable[..., dict]
+
+_EVALUATORS: dict[str, tuple[EvaluatorFn, str]] = {}
+
+
+def register_evaluator(
+    name: str,
+    fn: EvaluatorFn | None = None,
+    *,
+    description: str = "",
+    overwrite: bool = False,
+):
+    """Register an ``(inst, state, *, rng=None, **options) -> dict``
+    evaluator; usable directly or as a decorator."""
+
+    def _register(f: EvaluatorFn) -> EvaluatorFn:
+        if not overwrite and name in _EVALUATORS:
+            raise ValueError(
+                f"evaluator {name!r} is already registered "
+                "(pass overwrite=True to replace it)"
+            )
+        _EVALUATORS[name] = (f, description)
+        return f
+
+    return _register if fn is None else _register(fn)
+
+
+def get_evaluator(name: str) -> EvaluatorFn:
+    """Look up a registered evaluator by name."""
+    try:
+        return _EVALUATORS[name][0]
+    except KeyError:
+        known = ", ".join(sorted(_EVALUATORS))
+        raise KeyError(f"unknown evaluator {name!r}; registered: {known}") from None
+
+
+def list_evaluators() -> dict[str, str]:
+    """``{name: description}`` for every registered evaluator."""
+    return {n: desc for n, (_, desc) in sorted(_EVALUATORS.items())}
+
+
+@register_evaluator(
+    "stream",
+    description="Steady-state Poisson-stream simulation under the allocation's "
+    "routing fractions",
+)
+def _evaluate_stream(
+    inst,
+    state,
+    *,
+    rng=None,
+    horizon=4.0,
+    events_target=2000.0,
+    arrival_rate_scale=None,
+):
+    if arrival_rate_scale is None:
+        expected = inst.total_load * horizon
+        arrival_rate_scale = events_target / expected if expected > 0 else 1.0
+    report = simulate_stream(
+        inst, state, horizon=horizon, arrival_rate_scale=arrival_rate_scale, rng=rng
+    )
+    return {
+        "mean_latency": float(report.mean_latency),
+        "completed": int(report.completed),
+        "total_latency": float(report.total_latency),
+    }
+
+
+@register_evaluator(
+    "snapshot",
+    description="Snapshot-model simulation; measured total latency versus the "
+    "analytic ΣCi",
+)
+def _evaluate_snapshot(inst, state, *, rng=None):
+    report = simulate_snapshot(inst, state, rng=rng)
+    return {
+        "mean_latency": float(report.mean_latency),
+        "completed": int(report.completed),
+        "total_latency": float(report.total_latency),
+        "analytic_gap": float(report.analytic_gap(state.total_cost())),
+    }

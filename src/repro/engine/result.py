@@ -1,0 +1,61 @@
+"""The common return type of every registered solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.state import AllocationState
+
+__all__ = ["SolveResult"]
+
+
+@dataclass
+class SolveResult:
+    """What every solver in the registry returns.
+
+    The allocation itself plus the bookkeeping that every consumer of a
+    sweep wants: the objective value, how long the solve took, how many
+    iterations/rounds it ran (0 for closed-form policies) and whether its
+    own stop criterion was met.  ``metadata`` carries solver-specific
+    extras (strategy used, stall reason, trace lengths, …) without
+    widening the common interface.
+    """
+
+    solver: str
+    state: AllocationState
+    total_cost: float
+    wall_time_s: float
+    iterations: int = 0
+    converged: bool = True
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def inst(self):
+        """The instance the allocation lives on."""
+        return self.state.inst
+
+    def relative_error(self, optimum: float) -> float:
+        """``(ΣCi − ΣCi*) / ΣCi*`` against a reference optimum (clamped
+        at 0 — solvers may land a hair under a numerically-approximate
+        reference)."""
+        denom = optimum if optimum > 0 else 1.0
+        return max(0.0, (self.total_cost - optimum) / denom)
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-friendly scalar view (the allocation matrix is dropped)."""
+        return {
+            "solver": self.solver,
+            "total_cost": self.total_cost,
+            "wall_time_s": self.wall_time_s,
+            "iterations": self.iterations,
+            "converged": self.converged,
+            "m": self.state.inst.m,
+            **self.metadata,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SolveResult({self.solver!r}, cost={self.total_cost:.6g}, "
+            f"iters={self.iterations}, {self.wall_time_s * 1e3:.2f} ms)"
+        )

@@ -1,0 +1,83 @@
+"""Append-only JSONL result store — crash-safe, resumable sweeps.
+
+Each finished cell is written as one JSON line ``{"key": ..., "result":
+...}`` and flushed immediately, so a killed sweep loses at most the cell
+in flight.  On the next run the engine loads the store, skips every key
+already present and only executes the remainder.  Re-writing a key is
+allowed (last write wins), which also makes merging partial sweeps a
+plain file concatenation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator, Union
+
+__all__ = ["JsonlStore"]
+
+PathLike = Union[str, os.PathLike]
+
+
+class JsonlStore:
+    """A ``{key: json-payload}`` mapping persisted as JSON lines."""
+
+    def __init__(self, path: PathLike):
+        self.path = os.fspath(path)
+        self._cache: dict[str, Any] = {}
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    def load(self) -> dict[str, Any]:
+        """Read the file into the in-memory view (tolerating a torn final
+        line from a crashed writer) and return it."""
+        self._cache = {}
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rec = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn tail of a crashed run
+                    self._cache[rec["key"]] = rec["result"]
+        self._loaded = True
+        return dict(self._cache)
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            self.load()
+
+    # ------------------------------------------------------------------
+    def append(self, key: str, result: Any) -> None:
+        """Persist one result now (written and flushed before returning)."""
+        self._ensure_loaded()
+        os.makedirs(os.path.dirname(os.path.abspath(self.path)), exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"key": key, "result": result}) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._cache[key] = result
+
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        self._ensure_loaded()
+        return self._cache.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        self._ensure_loaded()
+        return key in self._cache
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._cache)
+
+    def keys(self) -> Iterator[str]:
+        self._ensure_loaded()
+        return iter(dict(self._cache))
+
+    def __repr__(self) -> str:
+        self._ensure_loaded()
+        return f"JsonlStore({self.path!r}, {len(self._cache)} results)"

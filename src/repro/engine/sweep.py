@@ -1,0 +1,144 @@
+"""The sweep engine: cells × cell function × backend × store.
+
+:class:`SweepEngine` is the one sweep loop in the repo.  Give it a list
+of picklable cells and a module-level function evaluating one cell; it
+returns the results in cell order, optionally
+
+* in parallel (``backend="process"`` / ``"chunked"``, see
+  :mod:`repro.engine.backends`),
+* resumably (``store=JsonlStore(path)`` — finished cells are persisted
+  as they complete and skipped on re-runs),
+* streamed (``progress`` is called with each result, in cell order, as
+  soon as it is available).
+
+The engine never injects randomness: every cell must carry its own seed
+(all sweeps in this repo derive their RNGs from the cell spec), which is
+what makes serial and parallel execution bitwise-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Generic, Sequence, TypeVar
+
+from .backends import BACKENDS, run_cells
+from .store import JsonlStore
+
+__all__ = ["SweepEngine"]
+
+C = TypeVar("C")
+R = TypeVar("R")
+
+
+class SweepEngine(Generic[C, R]):
+    """Run ``fn`` over ``cells`` through a pluggable execution backend.
+
+    Parameters
+    ----------
+    fn:
+        Module-level callable evaluating one cell.  For the process
+        backends it must be picklable, as must the cells and results.
+    cells:
+        The sweep grid, in the order results should be returned.
+    backend, max_workers, chunk_size:
+        Execution backend selection (``"serial"``, ``"process"``,
+        ``"chunked"``) and its sizing.
+    store:
+        Optional :class:`JsonlStore` (or path) making the sweep
+        resumable: cells whose key is already stored are not re-run, and
+        every fresh result is appended as soon as it completes.
+    key:
+        ``cell -> str`` identity for the store; defaults to ``repr``.
+        Must be stable across runs (reprs of dataclasses/primitives are).
+    encode / decode:
+        ``result -> jsonable`` and back, for the store.  Defaults to the
+        identity, which suffices for dict/scalar results.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[C], R],
+        cells: Sequence[C],
+        *,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+        store: "JsonlStore | str | os.PathLike | None" = None,
+        key: Callable[[C], str] | None = None,
+        encode: Callable[[R], Any] | None = None,
+        decode: Callable[[Any], R] | None = None,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        self.fn = fn
+        self.cells = list(cells)
+        self.backend = backend
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self.store = (
+            JsonlStore(store) if isinstance(store, (str, os.PathLike)) else store
+        )
+        self.key = key if key is not None else repr
+        self.encode = encode if encode is not None else (lambda r: r)
+        self.decode = decode if decode is not None else (lambda p: p)
+
+    # ------------------------------------------------------------------
+    def pending(self) -> list[tuple[int, C]]:
+        """``(index, cell)`` pairs not yet present in the store."""
+        if self.store is None:
+            return list(enumerate(self.cells))
+        return [
+            (i, c) for i, c in enumerate(self.cells) if self.key(c) not in self.store
+        ]
+
+    def run(self, *, progress: Callable[[R], None] | None = None) -> list[R]:
+        """Execute every (pending) cell; return all results in cell order.
+
+        ``progress`` is invoked once per result in cell order — for
+        stored cells immediately, for fresh ones as they complete.
+        """
+        results: list[R] = [None] * len(self.cells)  # type: ignore[list-item]
+        done = [False] * len(self.cells)
+
+        if self.store is not None:
+            for i, cell in enumerate(self.cells):
+                payload = self.store.get(self.key(cell), _MISSING)
+                if payload is not _MISSING:
+                    results[i] = self.decode(payload)
+                    done[i] = True
+
+        pending = [(i, c) for i, c in enumerate(self.cells) if not done[i]]
+
+        # Emit the already-stored prefix (in order) before fresh work.
+        emitted = 0
+
+        def _drain():
+            nonlocal emitted
+            while emitted < len(done) and done[emitted]:
+                if progress is not None:
+                    progress(results[emitted])
+                emitted += 1
+
+        _drain()
+        # Completion order (ordered=False): a finished cell is persisted
+        # to the store immediately, even while an earlier, slower cell is
+        # still running — a crash loses only cells actually in flight.
+        # ``progress`` still fires in cell order via the drain above.
+        for pending_idx, result in run_cells(
+            self.fn,
+            [c for _, c in pending],
+            backend=self.backend,
+            max_workers=self.max_workers,
+            chunk_size=self.chunk_size,
+            ordered=False,
+        ):
+            idx = pending[pending_idx][0]
+            results[idx] = result
+            done[idx] = True
+            if self.store is not None:
+                self.store.append(self.key(self.cells[idx]), self.encode(result))
+            _drain()
+        return results
+
+
+_MISSING = object()

@@ -38,6 +38,7 @@ __all__ = [
     "make_instance",
     "paper_settings",
     "scenario_instances",
+    "streaming_announcer",
     "PAPER_SIZES",
     "PAPER_AVG_LOADS",
     "PEAK_TOTAL",
@@ -150,6 +151,23 @@ def paper_settings(
                 for net in networks:
                     for rep in range(repetitions):
                         yield Setting(m, kind, avg, net, speed_kind, rep)
+
+
+def streaming_announcer(cells, render):
+    """A per-result progress printer for engine-driven grids.
+
+    :meth:`repro.engine.SweepEngine.run` invokes ``progress`` exactly
+    once per result, in cell order (the engine's documented contract);
+    this helper walks ``cells`` in lockstep so each result is announced
+    next to the cell that produced it, while the grid is still running.
+    Returns a callable for ``run(progress=...)``.
+    """
+    pending = iter(cells)
+
+    def _announce(result) -> None:
+        print(render(next(pending), result), flush=True)
+
+    return _announce
 
 
 def scenario_instances(

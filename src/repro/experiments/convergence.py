@@ -9,8 +9,13 @@ networks.
 Run as a module::
 
     python -m repro.experiments.convergence --table 1
-    python -m repro.experiments.convergence --table 2
+    python -m repro.experiments.convergence --table 2 --backend process
     python -m repro.experiments.convergence --figure 2
+
+Grid execution is delegated to :class:`repro.engine.SweepEngine`: every
+cell (one :class:`~repro.experiments.common.Setting`) is self-contained
+and deterministic, so ``--backend process`` fans the grid out over all
+cores with results identical to a serial run.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import numpy as np
 from ..core.distributed import MinEOptimizer
 from ..core.qp import solve_coordinate_descent
 from ..core.state import AllocationState
+from ..engine import SweepEngine
 from .common import (
     LARGE_SIZES,
     PAPER_AVG_LOADS,
@@ -29,6 +35,7 @@ from .common import (
     Setting,
     make_instance,
     paper_settings,
+    streaming_announcer,
 )
 from .report import format_grouped_table
 
@@ -97,6 +104,12 @@ def _size_group(m: int) -> str:
     return "m <= 50" if m <= 50 else f"m = {m}"
 
 
+def _iterations_cell(cell: tuple[Setting, float, int]) -> int:
+    """Picklable per-cell work unit for the sweep engine."""
+    setting, rel_tol, max_iterations = cell
+    return iterations_to_tolerance(setting, rel_tol, max_iterations=max_iterations)
+
+
 def convergence_table(
     rel_tol: float,
     *,
@@ -105,23 +118,35 @@ def convergence_table(
     repetitions: int = 1,
     max_iterations: int = 30,
     progress: bool = False,
+    backend: str = "serial",
+    max_workers: int | None = None,
 ) -> list[TableCell]:
     """Compute Table I (``rel_tol=0.02``) or Table II (``rel_tol=0.001``).
 
     Iterations are aggregated over average loads, both network kinds and
-    repetitions, exactly like the paper groups its rows.
+    repetitions, exactly like the paper groups its rows.  ``backend``
+    selects the :mod:`repro.engine` execution backend; every cell is
+    deterministic in its :class:`Setting`, so parallel runs match serial
+    ones exactly.
     """
-    buckets: dict[tuple[str, str], list[int]] = {}
-    for setting in paper_settings(
+    settings = list(paper_settings(
         sizes=sizes, avg_loads=avg_loads, repetitions=repetitions
-    ):
-        iters = iterations_to_tolerance(
-            setting, rel_tol, max_iterations=max_iterations
-        )
+    ))
+    engine: SweepEngine = SweepEngine(
+        _iterations_cell,
+        [(s, rel_tol, max_iterations) for s in settings],
+        backend=backend,
+        max_workers=max_workers,
+    )
+    announce = streaming_announcer(
+        settings,
+        lambda setting, iters: f"  {setting.label():<60} -> {iters} iterations",
+    )
+    results = engine.run(progress=announce if progress else None)
+    buckets: dict[tuple[str, str], list[int]] = {}
+    for setting, iters in zip(settings, results):
         key = (_size_group(setting.m), setting.load_kind)
         buckets.setdefault(key, []).append(iters)
-        if progress:
-            print(f"  {setting.label():<60} -> {iters} iterations", flush=True)
     cells = []
     for (group, kind), values in sorted(buckets.items()):
         arr = np.asarray(values, dtype=np.float64)
@@ -138,30 +163,42 @@ def convergence_table(
     return cells
 
 
+def _figure2_cell(cell: tuple[int, int, int, bool]) -> list[float]:
+    """Picklable per-size work unit: one Figure 2 cost trajectory."""
+    m, iterations, rng_seed, snapshot = cell
+    setting = Setting(m, "peak", 100_000.0 / m, "planetlab")
+    inst = make_instance(setting)
+    state = AllocationState.initial(inst)
+    optimizer = MinEOptimizer(
+        state, rng=rng_seed, snapshot_partner_selection=snapshot
+    )
+    trace = optimizer.run(max_iterations=iterations)
+    return trace.costs
+
+
 def figure2_traces(
     sizes: tuple[int, ...] = LARGE_SIZES,
     *,
     iterations: int = 20,
     rng_seed: int = 7,
     snapshot: bool = True,
+    backend: str = "serial",
+    max_workers: int | None = None,
 ) -> dict[int, list[float]]:
     """Figure 2: ``ΣCi`` per iteration for the peak distribution on large
     heterogeneous (PlanetLab-like) networks, no negative-cycle removal.
 
     ``snapshot=True`` (synchronous rounds) reproduces the paper's gradual
     exponential decrease; the asynchronous variant spreads the peak within
-    a single sweep."""
-    out: dict[int, list[float]] = {}
-    for m in sizes:
-        setting = Setting(m, "peak", 100_000.0 / m, "planetlab")
-        inst = make_instance(setting)
-        state = AllocationState.initial(inst)
-        optimizer = MinEOptimizer(
-            state, rng=rng_seed, snapshot_partner_selection=snapshot
-        )
-        trace = optimizer.run(max_iterations=iterations)
-        out[m] = trace.costs
-    return out
+    a single sweep.  The large sizes are the heaviest cells in the repo —
+    ``backend="process"`` runs them concurrently."""
+    engine: SweepEngine = SweepEngine(
+        _figure2_cell,
+        [(m, iterations, rng_seed, snapshot) for m in sizes],
+        backend=backend,
+        max_workers=max_workers,
+    )
+    return dict(zip(sizes, engine.run()))
 
 
 def _render_table(rel_tol: float, cells: list[TableCell]) -> str:
@@ -187,6 +224,9 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--sizes", type=int, nargs="*")
     parser.add_argument("--repetitions", type=int, default=1)
     parser.add_argument("--quick", action="store_true", help="reduced grid")
+    parser.add_argument("--backend", default="serial",
+                        choices=("serial", "process", "chunked"))
+    parser.add_argument("--workers", type=int, default=None)
     args = parser.parse_args(argv)
 
     if args.table:
@@ -201,13 +241,17 @@ def main(argv: list[str] | None = None) -> None:
             avg_loads=avg_loads,
             repetitions=args.repetitions,
             progress=True,
+            backend=args.backend,
+            max_workers=args.workers,
         )
         print(_render_table(rel_tol, cells))
     if args.figure:
         sizes = tuple(args.sizes) if args.sizes else (
             (500, 1000) if args.quick else LARGE_SIZES
         )
-        traces = figure2_traces(sizes)
+        traces = figure2_traces(
+            sizes, backend=args.backend, max_workers=args.workers
+        )
         print("Figure 2: total processing time ΣCi per iteration (peak load)")
         for m, costs in traces.items():
             series = " ".join(f"{c:.4g}" for c in costs)

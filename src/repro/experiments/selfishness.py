@@ -9,7 +9,11 @@ like Table III: {constant, uniform} speeds × {l_av ≤ 30, = 50, ≥ 200} ×
 
 Run as a module::
 
-    python -m repro.experiments.selfishness [--quick]
+    python -m repro.experiments.selfishness [--quick] [--backend process]
+
+Grid execution is delegated to :class:`repro.engine.SweepEngine`; each
+cell is deterministic in its :class:`~repro.experiments.common.Setting`,
+so the process backend reproduces serial results exactly.
 """
 
 from __future__ import annotations
@@ -20,7 +24,8 @@ import numpy as np
 
 from ..core.game import best_response_dynamics
 from ..core.qp import solve_coordinate_descent
-from .common import Setting, make_instance, paper_settings
+from ..engine import SweepEngine
+from .common import Setting, make_instance, paper_settings, streaming_announcer
 from .report import format_grouped_table
 
 __all__ = ["selfishness_ratio", "selfishness_table", "RatioCell"]
@@ -65,31 +70,43 @@ def selfishness_table(
     avg_loads: tuple[float, ...] = (10, 20, 50, 200, 1000),
     repetitions: int = 1,
     progress: bool = False,
+    backend: str = "serial",
+    max_workers: int | None = None,
 ) -> list[RatioCell]:
     """Compute the Table III grid.
 
     The paper uses uniform and exponential load distributions over its
     standard sizes; the peak distribution is excluded (a single owner has
-    nothing to be selfish against in the l_av bands)."""
-    buckets: dict[tuple[str, str, str], list[float]] = {}
-    for speed_kind in ("constant", "uniform"):
+    nothing to be selfish against in the l_av bands).  ``backend``
+    selects the :mod:`repro.engine` execution backend."""
+    settings = [
+        setting
+        for speed_kind in ("constant", "uniform")
         for setting in paper_settings(
             sizes=sizes,
             load_kinds=("uniform", "exponential"),
             avg_loads=avg_loads,
             speed_kind=speed_kind,
             repetitions=repetitions,
-        ):
-            ratio = selfishness_ratio(setting)
-            key = (
-                speed_kind,
-                _load_band(setting.avg_load),
-                "cij = 20" if setting.network == "homogeneous" else "PL",
-            )
-            buckets.setdefault(key, []).append(ratio)
-            if progress:
-                print(f"  {speed_kind:<9} {setting.label():<58} -> {ratio:.4f}",
-                      flush=True)
+        )
+    ]
+    engine: SweepEngine = SweepEngine(
+        selfishness_ratio, settings, backend=backend, max_workers=max_workers
+    )
+    announce = streaming_announcer(
+        settings,
+        lambda setting, ratio:
+            f"  {setting.speed_kind:<9} {setting.label():<58} -> {ratio:.4f}",
+    )
+    results = engine.run(progress=announce if progress else None)
+    buckets: dict[tuple[str, str, str], list[float]] = {}
+    for setting, ratio in zip(settings, results):
+        key = (
+            setting.speed_kind,
+            _load_band(setting.avg_load),
+            "cij = 20" if setting.network == "homogeneous" else "PL",
+        )
+        buckets.setdefault(key, []).append(ratio)
     order = {"lav <= 30": 0, "lav = 50": 1, "lav >= 200": 2}
     cells = []
     for (speed_kind, band, net), values in sorted(
@@ -135,14 +152,18 @@ def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true")
     parser.add_argument("--repetitions", type=int, default=1)
+    parser.add_argument("--backend", default="serial",
+                        choices=("serial", "process", "chunked"))
+    parser.add_argument("--workers", type=int, default=None)
     args = parser.parse_args(argv)
+    exec_kw = dict(backend=args.backend, max_workers=args.workers)
     if args.quick:
         cells = selfishness_table(
-            sizes=(20, 50), avg_loads=(20, 50, 200), progress=True
+            sizes=(20, 50), avg_loads=(20, 50, 200), progress=True, **exec_kw
         )
     else:
         cells = selfishness_table(
-            repetitions=args.repetitions, progress=True
+            repetitions=args.repetitions, progress=True, **exec_kw
         )
     print(render_table(cells))
 

@@ -26,7 +26,13 @@ from .loadmodels import (
     UniformLoads,
     scale_to_average,
 )
-from .runner import ScenarioReport, ScenarioResult, ScenarioRunner
+from .runner import (
+    ScenarioReport,
+    ScenarioResult,
+    ScenarioRunner,
+    SweepCell,
+    evaluate_cell,
+)
 from .scenario import (
     PRESETS,
     Scenario,
@@ -69,4 +75,6 @@ __all__ = [
     "ScenarioRunner",
     "ScenarioReport",
     "ScenarioResult",
+    "SweepCell",
+    "evaluate_cell",
 ]

@@ -1,0 +1,176 @@
+"""Registry round-trip tests: every registered solver and evaluator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.state import AllocationState
+from repro.engine import (
+    FunctionSolver,
+    SolveResult,
+    Solver,
+    get_evaluator,
+    get_solver,
+    list_evaluators,
+    list_solvers,
+    register_evaluator,
+    register_solver,
+)
+from repro.engine.registry import _EVALUATORS, _SOLVERS
+from repro.workloads import get_scenario
+
+EXPECTED_SOLVERS = {
+    "optimal",
+    "mine-exact",
+    "mine-screened",
+    "mine-auto",
+    "best-response",
+    "round-robin",
+    "nearest-server",
+    "proportional-speed",
+    "makespan-greedy",
+}
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return get_scenario("paper-planetlab").instance(m=10, seed=0)
+
+
+@pytest.fixture(scope="module")
+def opt_cost(inst):
+    return get_solver("optimal").solve(inst).total_cost
+
+
+class TestRegistry:
+    def test_every_expected_solver_is_registered(self):
+        assert EXPECTED_SOLVERS <= set(list_solvers())
+
+    def test_get_solver_roundtrip(self):
+        for name in list_solvers():
+            solver = get_solver(name)
+            assert solver.name == name
+            assert isinstance(solver, FunctionSolver)
+            assert isinstance(solver, Solver)  # protocol runtime check
+
+    def test_unknown_solver(self):
+        with pytest.raises(KeyError, match="unknown solver"):
+            get_solver("no-such-solver")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_solver("optimal", lambda inst, **kw: None)
+
+    def test_decorator_registration_and_overwrite(self):
+        @register_solver("test-identity", kind="baseline", description="test")
+        def _identity(inst, *, rng=None, optimum=None, **options):
+            return AllocationState.initial(inst)
+
+        try:
+            assert get_solver("test-identity").kind == "baseline"
+            register_solver(
+                "test-identity",
+                lambda inst, **kw: AllocationState.initial(inst),
+                overwrite=True,
+            )
+        finally:
+            _SOLVERS.pop("test-identity", None)
+
+    def test_list_solvers_by_kind(self):
+        baselines = list_solvers(kind="baseline")
+        assert set(baselines) == {
+            "round-robin", "nearest-server", "proportional-speed",
+            "makespan-greedy",
+        }
+
+
+class TestSolveResults:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SOLVERS))
+    def test_solver_returns_valid_result(self, name, inst, opt_cost):
+        res = get_solver(name).solve(inst, rng=0, optimum=opt_cost)
+        assert isinstance(res, SolveResult)
+        assert res.solver == name
+        assert res.inst is inst
+        # the allocation is feasible: row sums preserve the owned loads
+        np.testing.assert_allclose(
+            res.state.R.sum(axis=1), inst.loads, rtol=1e-7, atol=1e-6
+        )
+        assert np.all(res.state.R >= -1e-9)
+        assert res.total_cost == pytest.approx(res.state.total_cost())
+        assert res.total_cost >= opt_cost * (1 - 1e-9)  # optimum is a lower bound
+        assert res.wall_time_s >= 0
+        assert res.iterations >= 0
+        summary = res.summary()
+        assert summary["solver"] == name and summary["m"] == inst.m
+
+    def test_relative_error(self, inst, opt_cost):
+        res = get_solver("round-robin").solve(inst)
+        err = res.relative_error(opt_cost)
+        assert err == pytest.approx((res.total_cost - opt_cost) / opt_cost)
+        assert get_solver("optimal").solve(inst).relative_error(opt_cost) < 1e-9
+
+    def test_mine_iterations_and_convergence(self, inst, opt_cost):
+        res = get_solver("mine-exact").solve(
+            inst, rng=0, optimum=opt_cost, max_iterations=50, rel_tol=0.02
+        )
+        assert res.converged
+        assert 1 <= res.iterations <= 50
+        assert res.relative_error(opt_cost) <= 0.02
+        assert res.metadata["strategy"] == "exact"
+
+    def test_mine_strategies_all_reach_optimum(self, inst, opt_cost):
+        for strategy in ("exact", "screened", "auto"):
+            res = get_solver(f"mine-{strategy}").solve(
+                inst, rng=0, optimum=opt_cost, max_iterations=60, rel_tol=0.02
+            )
+            assert res.relative_error(opt_cost) <= 0.02, strategy
+
+    def test_best_response_reports_poa(self, inst, opt_cost):
+        res = get_solver("best-response").solve(inst, rng=0, optimum=opt_cost)
+        assert res.metadata["poa_ratio"] >= 1 - 1e-6
+        assert res.iterations >= 1
+
+    def test_solver_determinism(self, inst, opt_cost):
+        a = get_solver("mine-auto").solve(inst, rng=7, optimum=opt_cost)
+        b = get_solver("mine-auto").solve(inst, rng=7, optimum=opt_cost)
+        assert a.total_cost == b.total_cost
+        np.testing.assert_array_equal(a.state.R, b.state.R)
+
+
+class TestEvaluators:
+    def test_stream_and_snapshot_registered(self):
+        assert {"stream", "snapshot"} <= set(list_evaluators())
+
+    def test_unknown_evaluator(self):
+        with pytest.raises(KeyError, match="unknown evaluator"):
+            get_evaluator("no-such-evaluator")
+
+    def test_duplicate_evaluator_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_evaluator("stream", lambda inst, state, **kw: {})
+
+    def test_stream_evaluator(self, inst):
+        opt = get_solver("optimal").solve(inst)
+        out = get_evaluator("stream")(
+            inst, opt.state, rng=np.random.default_rng(0),
+            horizon=2.0, events_target=300.0,
+        )
+        assert out["completed"] > 0
+        assert math.isfinite(out["mean_latency"]) and out["mean_latency"] > 0
+
+    def test_snapshot_evaluator_matches_analytic(self, inst):
+        opt = get_solver("optimal").solve(inst)
+        out = get_evaluator("snapshot")(inst, opt.state, rng=0)
+        assert out["completed"] > 0
+        assert out["analytic_gap"] < 0.5  # finite-size noise only
+
+    def test_custom_evaluator_roundtrip(self):
+        @register_evaluator("test-constant", description="test")
+        def _const(inst, state, *, rng=None):
+            return {"answer": 42}
+
+        try:
+            assert get_evaluator("test-constant")(None, None) == {"answer": 42}
+        finally:
+            _EVALUATORS.pop("test-constant", None)

@@ -1,0 +1,172 @@
+"""Sweep engine: backends, ordering, result store, resume."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.engine import BACKENDS, JsonlStore, SweepEngine, run_cells
+from repro.engine.backends import resolve_workers
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise AssertionError("cell was re-executed despite being stored")
+
+
+def _square_slow_zero(x):
+    if x == 0:
+        time.sleep(1.0)
+    return x * x
+
+
+class TestBackends:
+    def test_backend_names(self):
+        assert BACKENDS == ("serial", "process", "chunked")
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            list(run_cells(_square, [1, 2], backend="threads"))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_results_in_cell_order(self, backend):
+        out = list(run_cells(_square, list(range(10)), backend=backend,
+                             max_workers=2))
+        assert out == [(i, i * i) for i in range(10)]
+
+    def test_empty_grid(self):
+        assert list(run_cells(_square, [], backend="process")) == []
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unordered_yields_every_pair(self, backend):
+        out = dict(run_cells(_square, list(range(10)), backend=backend,
+                             max_workers=2, ordered=False))
+        assert out == {i: i * i for i in range(10)}
+
+    def test_chunked_matches_serial(self):
+        cells = list(range(23))
+        a = list(run_cells(_square, cells, backend="serial"))
+        b = list(run_cells(_square, cells, backend="chunked", max_workers=2,
+                           chunk_size=5))
+        assert a == b
+
+    def test_resolve_workers(self):
+        assert resolve_workers(4, 100) == 4
+        assert resolve_workers(8, 3) == 3  # never more workers than cells
+        assert resolve_workers(None, 2) <= 2
+        assert resolve_workers(0, 5) == 1
+
+
+class TestSweepEngine:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_matches_map(self, backend):
+        engine = SweepEngine(_square, list(range(7)), backend=backend,
+                             max_workers=2)
+        assert engine.run() == [i * i for i in range(7)]
+
+    def test_progress_called_in_order(self):
+        seen = []
+        SweepEngine(_square, [3, 1, 2]).run(progress=seen.append)
+        assert seen == [9, 1, 4]
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            SweepEngine(_square, [1], backend="gpu")
+
+
+class TestJsonlStore:
+    def test_append_load_roundtrip(self, tmp_path):
+        store = JsonlStore(tmp_path / "r.jsonl")
+        store.append("a", {"x": 1})
+        store.append("b", [1, 2])
+        fresh = JsonlStore(tmp_path / "r.jsonl")
+        assert fresh.load() == {"a": {"x": 1}, "b": [1, 2]}
+        assert "a" in fresh and len(fresh) == 2
+
+    def test_last_write_wins(self, tmp_path):
+        store = JsonlStore(tmp_path / "r.jsonl")
+        store.append("k", 1)
+        store.append("k", 2)
+        assert JsonlStore(tmp_path / "r.jsonl").get("k") == 2
+
+    def test_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = JsonlStore(path)
+        store.append("ok", 7)
+        with open(path, "a") as fh:
+            fh.write('{"key": "torn", "resu')  # crash mid-write
+        fresh = JsonlStore(path)
+        assert fresh.load() == {"ok": 7}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert JsonlStore(tmp_path / "absent.jsonl").load() == {}
+
+
+class TestResume:
+    def test_store_persists_every_result(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        engine = SweepEngine(_square, [1, 2, 3], store=str(path),
+                             key=str)
+        assert engine.run() == [1, 4, 9]
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        assert {rec["key"]: rec["result"] for rec in lines} == {
+            "1": 1, "2": 4, "3": 9
+        }
+
+    def test_resume_skips_stored_cells(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        SweepEngine(_square, [1, 2, 3], store=str(path), key=str).run()
+        # A second engine over a superset: stored cells must NOT re-run
+        # (fn raises if any of them does), fresh cells run normally.
+        engine = SweepEngine(_boom, [1, 2, 3], store=str(path), key=str)
+        assert engine.pending() == []
+        assert engine.run() == [1, 4, 9]
+
+    def test_partial_resume_runs_only_missing(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        SweepEngine(_square, [1, 2], store=str(path), key=str).run()
+        engine = SweepEngine(_square, [1, 2, 5], store=str(path), key=str)
+        assert [c for _, c in engine.pending()] == [5]
+        assert engine.run() == [1, 4, 25]
+
+    def test_progress_in_order_with_stored_prefix(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        SweepEngine(_square, [2, 4], store=str(path), key=str).run()
+        seen = []
+        SweepEngine(_square, [2, 3, 4, 5], store=str(path), key=str).run(
+            progress=seen.append
+        )
+        assert seen == [4, 9, 16, 25]
+
+    def test_store_not_blocked_by_slow_head_cell(self, tmp_path):
+        """Crash-safety on parallel backends: cells finished while an
+        earlier cell is still running are persisted immediately."""
+        path = tmp_path / "sweep.jsonl"
+        engine = SweepEngine(
+            _square_slow_zero, [0, 1, 2, 3], backend="process",
+            max_workers=2, store=str(path), key=str,
+        )
+        assert engine.run() == [0, 1, 4, 9]
+        keys = [json.loads(x)["key"] for x in path.read_text().splitlines()]
+        assert sorted(keys) == ["0", "1", "2", "3"]
+        if (os.cpu_count() or 1) >= 2:
+            # The sleeping head cell must have landed in the store last.
+            assert keys[-1] == "0"
+
+    def test_encode_decode(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        engine = SweepEngine(
+            _square, [3], store=str(path), key=str,
+            encode=lambda r: {"value": r},
+            decode=lambda p: p["value"],
+        )
+        assert engine.run() == [9]
+        again = SweepEngine(
+            _boom, [3], store=str(path), key=str,
+            decode=lambda p: p["value"],
+        )
+        assert again.run() == [9]

@@ -24,7 +24,13 @@ def _small_examples(monkeypatch, capsys):
 
 
 @pytest.mark.parametrize(
-    "script", ["quickstart.py", "scenario_sweep.py", "custom_scenario.py"]
+    "script",
+    [
+        "quickstart.py",
+        "scenario_sweep.py",
+        "custom_scenario.py",
+        "solver_shootout.py",
+    ],
 )
 def test_example_runs(script, capsys):
     runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.workloads import (
+    PRESETS,
     ExponentialLoads,
     Scenario,
     ScenarioReport,
@@ -14,6 +15,7 @@ from repro.workloads import (
     fat_tree_latency,
     get_scenario,
 )
+from repro.workloads.runner import TIMING_FIELDS
 
 FAST = dict(
     mine_max_iterations=8,
@@ -151,3 +153,88 @@ class TestReport:
     def test_as_dicts(self, small_report):
         dicts = small_report.as_dicts()
         assert dicts[0]["scenario"] == small_report[0].scenario
+
+    def test_from_csv_roundtrip_text_and_path(self, small_report, tmp_path):
+        # text round-trip: every field survives, including the timings
+        back = ScenarioReport.from_csv(small_report.to_csv())
+        assert [r.as_dict() for r in back] == [r.as_dict() for r in small_report]
+        # path round-trip
+        path = tmp_path / "report.csv"
+        small_report.to_csv(path)
+        from_path = ScenarioReport.from_csv(str(path))
+        assert from_path == small_report
+        # truncated header is rejected
+        with pytest.raises(ValueError, match="missing columns"):
+            ScenarioReport.from_csv("scenario,m,seed\nx,1,0\n")
+
+    def test_merged_partial_reports(self, small_report):
+        first = ScenarioReport(small_report.rows[:10])
+        second = ScenarioReport(small_report.rows[8:])
+        merged = first.merged(second)
+        assert merged == small_report
+
+    def test_row_key_identifies_cell(self, small_report):
+        keys = {r.key() for r in small_report}
+        assert len(keys) == len(small_report)
+
+
+class TestParallelBackends:
+    """The tentpole guarantee: where a cell runs never changes what it
+    computes."""
+
+    @pytest.fixture(scope="class")
+    def grid_runner(self) -> ScenarioRunner:
+        """The full 7-preset scenario grid (small sizes keep it quick)."""
+        return ScenarioRunner(
+            sorted(s.name for s in PRESETS), sizes=[6, 9], seeds=[0, 1], **FAST
+        )
+
+    @pytest.fixture(scope="class")
+    def serial_report(self, grid_runner) -> ScenarioReport:
+        return grid_runner.run(backend="serial")
+
+    @pytest.mark.parametrize("backend", ["process", "chunked"])
+    def test_parallel_bitwise_identical_to_serial(
+        self, grid_runner, serial_report, backend
+    ):
+        parallel = grid_runner.run(backend=backend, max_workers=2)
+        assert len(parallel) == len(serial_report) == 7 * 2 * 2
+        skip = set(TIMING_FIELDS)
+        for a, b in zip(serial_report, parallel):
+            for name in ScenarioReport.columns:
+                if name in skip:
+                    continue
+                va, vb = getattr(a, name), getattr(b, name)
+                both_nan = isinstance(va, float) and math.isnan(va) \
+                    and isinstance(vb, float) and math.isnan(vb)
+                assert va == vb or both_nan, (name, va, vb)
+
+    def test_report_equality_ignores_timings(self, serial_report):
+        jittered = ScenarioReport([
+            ScenarioResult.from_dict({**r.as_dict(), "elapsed_s": r.elapsed_s + 1})
+            for r in serial_report
+        ])
+        assert serial_report == jittered
+
+    def test_unknown_backend_rejected(self, grid_runner):
+        with pytest.raises(ValueError, match="unknown backend"):
+            grid_runner.run(backend="threads")
+
+
+class TestStoreResume:
+    def test_store_resume_and_crash_safety(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        kw = dict(sizes=[6], seeds=[0, 1], **FAST)
+        partial = ScenarioRunner("paper-homogeneous", **kw).run(store=path)
+        assert len(partial) == 2
+        # Superset sweep resumes: stored cells load, new cells compute.
+        runner = ScenarioRunner(
+            ["paper-homogeneous", "hub-heavytail"], **kw
+        )
+        assert len(runner.engine(store=path).pending()) == 2
+        full = runner.run(store=path)
+        fresh = runner.run()
+        assert full == fresh
+        # Stored rows are the exact rows the partial sweep produced.
+        assert [r.as_dict() for r in full.rows[:2]] == \
+            [r.as_dict() for r in partial.rows]
