@@ -1,0 +1,149 @@
+"""Livesim acceptance + throughput bench — ``BENCH_livesim.json``.
+
+Two benches cover the subsystem's acceptance criteria:
+
+* :func:`test_livesim_all_presets_converge` — on every registered
+  scenario preset, the *asynchronous* control plane (zero churn, zero
+  message loss) converges to a total cost within the paper's 2 % error
+  bound of the offline optimum, entirely through RTT-delayed gossip and
+  propose/accept handshakes.
+* :func:`test_livesim_churn_reconverges` — under the ``churn`` preset
+  (≥5 % of servers restarting, plus message loss) the plane re-converges
+  to within the bound after every failure event.
+
+Both write their measurements — events/sec throughput, time-to-within-
+bound per preset (in sim time and agent rounds) and cost-vs-time curves
+— into ``benchmarks/BENCH_livesim.json`` so the perf trajectory is
+tracked PR-over-PR.  ``REPRO_FULL=1`` runs each scenario at its native
+production size.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.livesim import LiveSimulation, get_live_preset
+from repro.workloads import PRESETS, cached_instance, cached_optimum
+
+from .conftest import full_run
+
+REL_TOL = 0.02  # the paper's Table I convergence bound
+ROUNDS = 120 if full_run() else 80
+CHURN_ROUNDS = 240 if full_run() else 160
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_livesim.json"
+
+
+def _size(sc) -> int:
+    return sc.m if full_run() else 16
+
+
+def _merge_bench(section: str, payload: dict) -> None:
+    data = {}
+    if BENCH_PATH.exists():
+        data = json.loads(BENCH_PATH.read_text())
+    data[section] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _curve(report, stride: int = 4) -> list[list[float]]:
+    """The (t, ΣCi) trajectory, thinned for the JSON."""
+    pts = list(zip(report.times.tolist(), report.costs.tolist()))
+    return [list(p) for p in pts[::stride]] + [list(pts[-1])]
+
+
+def test_livesim_all_presets_converge():
+    rows = {}
+    for sc in PRESETS:
+        m = _size(sc)
+        inst = cached_instance(sc, m, 0)
+        opt_state, opt_cost, _, _ = cached_optimum(sc, m, 0)
+        sim = LiveSimulation(
+            inst, config=get_live_preset("ideal"), seed=0, optimum=opt_state
+        )
+        report = sim.run(rounds=ROUNDS)
+        interval = sim.config.agent_interval
+        ttw = report.time_to_within(REL_TOL)
+
+        assert report.final_error <= REL_TOL, (
+            f"{sc.name}: async MinE ended {report.final_error:.3%} above "
+            f"the offline optimum (bound {REL_TOL:.0%})"
+        )
+        assert np.isfinite(ttw)
+
+        rows[sc.name] = {
+            "m": m,
+            "optimal_cost": opt_cost,
+            "final_error": report.final_error,
+            "time_to_bound": ttw,
+            "rounds_to_bound": ttw / interval,
+            "exchanges": report.agents.exchanges,
+            "proposals": report.agents.proposals,
+            "messages": report.net.sent,
+            "events_processed": report.events_processed,
+            "events_per_sec": report.events_per_sec,
+            "mean_view_age_rounds": report.mean_view_age / interval,
+            "cost_curve": _curve(report),
+        }
+        print(
+            f"  {sc.name:<22} m={m:<3d} err={report.final_error:9.2e} "
+            f"t_bound={ttw / interval:6.1f} rounds "
+            f"ev/s={report.events_per_sec:9.0f}"
+        )
+
+    _merge_bench(
+        "async_ideal",
+        {"rel_tol": REL_TOL, "rounds": ROUNDS, "presets": rows},
+    )
+
+
+def test_livesim_churn_reconverges():
+    sc = next(s for s in PRESETS if s.name == "paper-planetlab")
+    m = _size(sc)
+    inst = cached_instance(sc, m, 0)
+    opt_state, _, _, _ = cached_optimum(sc, m, 0)
+    sim = LiveSimulation(
+        inst, config=get_live_preset("churn"), seed=3, optimum=opt_state
+    )
+    report = sim.run(rounds=CHURN_ROUNDS)
+    interval = sim.config.agent_interval
+
+    # Real churn happened: at least 5 % of the fleet restarted.
+    assert len(report.failures) >= max(1, int(0.05 * m))
+    # Failures genuinely perturbed the allocation...
+    assert report.relative_errors().max() > REL_TOL
+    # ...and the plane re-converged within the bound after every one.
+    reconv = report.reconvergence_times(REL_TOL)
+    assert all(np.isfinite(t) for t in reconv), (
+        f"unrecovered failures: {[f for f, t in zip(report.failures, reconv) if not np.isfinite(t)]}"
+    )
+    assert report.final_error <= REL_TOL
+
+    lags = [
+        (t_re - t_f) / interval for (t_f, _), t_re in zip(report.failures, reconv)
+    ]
+    _merge_bench(
+        "churn",
+        {
+            "rel_tol": REL_TOL,
+            "rounds": CHURN_ROUNDS,
+            "scenario": sc.name,
+            "m": m,
+            "restarts": len(report.failures),
+            "restart_fraction": len(report.failures) / m,
+            "message_drop_rate": get_live_preset("churn").p_drop,
+            "reconvergence_lag_rounds_mean": float(np.mean(lags)),
+            "reconvergence_lag_rounds_max": float(np.max(lags)),
+            "final_error": report.final_error,
+            "events_per_sec": report.events_per_sec,
+            "cost_curve": _curve(report),
+        },
+    )
+    print(
+        f"  churn: {len(report.failures)} restarts "
+        f"({len(report.failures) / m:.0%} of fleet), mean reconvergence "
+        f"{np.mean(lags):.1f} rounds, final err {report.final_error:.2e}"
+    )

@@ -23,7 +23,7 @@ import os
 import pathlib
 import time
 
-from repro.workloads import PRESETS, ScenarioRunner
+from repro.workloads import PRESETS, ScenarioRunner, clear_cache
 
 from .conftest import full_run
 
@@ -100,11 +100,16 @@ def test_sweep_backend_speedup():
         stream_events_target=1000.0,
     )
 
+    # Each timed run starts from a cold memo cache: forked workers would
+    # otherwise inherit the serial run's warm optima and the "speedup"
+    # would measure cache hits instead of parallel solving.
+    clear_cache()
     t0 = time.perf_counter()
     serial = runner.run(backend="serial")
     serial_wall = time.perf_counter() - t0
 
     cores = os.cpu_count() or 1
+    clear_cache()
     t0 = time.perf_counter()
     parallel = runner.run(backend="process")
     process_wall = time.perf_counter() - t0
@@ -117,6 +122,7 @@ def test_sweep_backend_speedup():
         # Best of two on multi-core machines: the first run pays the
         # one-off interpreter/numpy warm-up in every worker, and shared
         # CI runners are noisy.
+        clear_cache()
         t0 = time.perf_counter()
         again = runner.run(backend="process")
         process_wall = min(process_wall, time.perf_counter() - t0)

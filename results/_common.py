@@ -33,7 +33,7 @@ def build_parser(description: str) -> argparse.ArgumentParser:
     """The common CLI: execution backend, worker count, output path."""
     parser = argparse.ArgumentParser(description=description)
     parser.add_argument("--backend", default="serial",
-                        choices=("serial", "process", "chunked"))
+                        choices=("serial", "threads", "process", "chunked"))
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--out", default=DEFAULT_OUT)
     return parser

@@ -69,6 +69,14 @@ from .flow import (
     solve_transportation,
 )
 from .gossip import GossipNetwork
+from .livesim import (
+    LIVE_PRESETS,
+    LiveConfig,
+    LiveReport,
+    LiveSimulation,
+    get_live_preset,
+    live_sweep,
+)
 from .net import (
     BackgroundLoadExperiment,
     VivaldiEstimator,
@@ -119,5 +127,11 @@ __all__ = list(_core_all) + [
     "list_evaluators",
     "SweepEngine",
     "JsonlStore",
+    "LiveSimulation",
+    "LiveConfig",
+    "LiveReport",
+    "LIVE_PRESETS",
+    "get_live_preset",
+    "live_sweep",
     "__version__",
 ]

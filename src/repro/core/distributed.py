@@ -47,6 +47,8 @@ __all__ = [
     "ConvergenceTrace",
     "batch_exchange_stats",
     "best_partner_exact",
+    "propose_partner",
+    "apply_pair_exchange",
 ]
 
 
@@ -234,6 +236,52 @@ def best_partner_exact(
     return j, float(impr[j])
 
 
+def propose_partner(
+    inst: Instance,
+    R: np.ndarray,
+    i: int,
+    loads: np.ndarray | None = None,
+    *,
+    owners: np.ndarray | None = None,
+) -> tuple[int, float]:
+    """Server ``i``'s partner proposal against a (possibly stale) load view.
+
+    The single-exchange *selection* half of Algorithm 2, exposed for
+    callers that drive servers individually — most notably the
+    event-driven agents of :mod:`repro.livesim`, where each server acts
+    on whatever load vector its gossip table currently holds.  Returns
+    ``(partner, expected_improvement)``; the expected improvement is
+    computed from ``loads`` and may differ from the true improvement when
+    the view is stale.
+    """
+    if owners is None:
+        owners = np.flatnonzero(inst.loads > 0)
+    return best_partner_exact(inst, R, i, owners, loads)
+
+
+def apply_pair_exchange(
+    state: AllocationState,
+    i: int,
+    j: int,
+    *,
+    min_improvement: float = 1e-9,
+) -> PairExchange | None:
+    """Execute Algorithm 1 between ``i`` and ``j`` on the *true* state.
+
+    The single-exchange *execution* half of Algorithm 2: the pair is
+    assumed to have synchronized (they exchange their actual columns), so
+    the transfer is computed from current state regardless of how stale
+    the view that selected the partner was.  Applies the exchange only if
+    the exact improvement exceeds ``min_improvement``; returns the applied
+    :class:`PairExchange` or ``None``.
+    """
+    ex = calc_best_transfer(state.inst, state.R, i, j)
+    if ex.improvement <= min_improvement:
+        return None
+    state.apply_pair_columns(i, j, ex.col_i, ex.col_j)
+    return ex
+
+
 def _screen_scores(
     inst: Instance, loads: np.ndarray, i: int
 ) -> np.ndarray:
@@ -370,10 +418,11 @@ class MinEOptimizer:
         j, impr = self.best_partner(i)
         if j < 0 or impr <= self.min_improvement:
             return None
-        ex = calc_best_transfer(self.state.inst, self.state.R, i, j)
-        if ex.improvement <= self.min_improvement:
+        ex = apply_pair_exchange(
+            self.state, i, j, min_improvement=self.min_improvement
+        )
+        if ex is None:
             return None
-        self.state.apply_pair_columns(i, j, ex.col_i, ex.col_j)
         self._Rt[i] = ex.col_i
         self._Rt[j] = ex.col_j
         return ex

@@ -13,7 +13,7 @@ parallel, resumable operation:
   (:func:`register_evaluator`) for metrics computed *on top of* an
   allocation (e.g. the discrete-event stream simulation).
 * :mod:`repro.engine.backends` — pluggable execution backends
-  (``serial``, ``process``, ``chunked``) that run a picklable cell
+  (``serial``, ``threads``, ``process``, ``chunked``) running a cell
   function over a list of cells.
 * :mod:`repro.engine.store` — :class:`JsonlStore`, an append-only JSONL
   result store making long sweeps crash-safe and resumable.

@@ -1,7 +1,7 @@
 """Execution backends for sweep cells.
 
 A backend runs ``fn`` over a sequence of independent cells and yields
-``(index, result)`` pairs in cell order.  Three are provided:
+``(index, result)`` pairs in cell order.  Four are provided:
 
 ``serial``
     Plain in-process loop.  Zero overhead, always available, and the
@@ -20,6 +20,15 @@ A backend runs ``fn`` over a sequence of independent cells and yields
     ``Executor.map``), amortizing pickling/IPC overhead when a sweep has
     many small cells.
 
+``threads``
+    ``concurrent.futures.ThreadPoolExecutor``.  The numpy kernels under
+    every solver release the GIL, so threads overlap the array work while
+    skipping the fork and pickling cost entirely — the right backend for
+    many-tiny-cell sweeps where ``process`` spends more time shipping
+    cells than solving them (the ``chunked`` backend only amortizes that
+    cost; threads remove it).  No picklability requirement on ``fn`` or
+    the cells.
+
 Determinism: a backend only changes *where* a cell runs, never its
 inputs.  As long as ``fn`` derives all randomness from the cell spec
 itself (as every sweep in this repo does — seeds travel inside the cell),
@@ -29,12 +38,16 @@ all backends produce bitwise-identical results.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from typing import Callable, Iterator, Sequence, TypeVar
 
 __all__ = ["BACKENDS", "resolve_workers", "run_cells"]
 
-BACKENDS = ("serial", "process", "chunked")
+BACKENDS = ("serial", "threads", "process", "chunked")
 
 C = TypeVar("C")
 R = TypeVar("R")
@@ -95,7 +108,8 @@ def run_cells(
         list(range(lo, min(lo + chunksize, len(cells))))
         for lo in range(0, len(cells), chunksize)
     ]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    executor = ThreadPoolExecutor if backend == "threads" else ProcessPoolExecutor
+    with executor(max_workers=workers) as pool:
         futures = {
             pool.submit(_run_chunk, fn, [cells[i] for i in idxs]): idxs
             for idxs in chunks

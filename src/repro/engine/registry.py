@@ -355,3 +355,48 @@ def _evaluate_snapshot(inst, state, *, rng=None):
         "total_latency": float(report.total_latency),
         "analytic_gap": float(report.analytic_gap(state.total_cost())),
     }
+
+
+@register_evaluator(
+    "livesim",
+    description="Event-driven async control plane (gossip + MinE handshake "
+    "agents + churn) run inside the stream simulator; convergence of the "
+    "live system versus the offline optimum",
+)
+def _evaluate_livesim(
+    inst,
+    state,
+    *,
+    rng=None,
+    preset="ideal",
+    rounds=60,
+    rel_tol=0.02,
+    config=None,
+):
+    """Run :class:`repro.livesim.LiveSimulation` from the all-local start
+    against the offline optimum ``state``; flat convergence metrics.
+
+    ``rng`` (a seed or Generator) derives the single livesim seed;
+    ``config`` (a :class:`repro.livesim.LiveConfig`) overrides the named
+    ``preset``.
+    """
+    from ..livesim import LiveSimulation, get_live_preset  # lazy: avoid cycle
+
+    if isinstance(rng, np.random.Generator):
+        seed = int(rng.integers(2**31))
+    else:
+        seed = 0 if rng is None else int(rng)
+    cfg = config if config is not None else get_live_preset(preset)
+    sim = LiveSimulation(inst, config=cfg, seed=seed, optimum=state)
+    report = sim.run(rounds=rounds)
+    interval = sim.config.agent_interval
+    return {
+        "final_error": float(report.final_error),
+        "converged": bool(report.final_error <= rel_tol),
+        "rounds_to_bound": float(report.time_to_within(rel_tol) / interval),
+        "exchanges": int(report.agents.exchanges),
+        "failures": int(len(report.failures)),
+        "events_processed": int(report.events_processed),
+        "events_per_sec": float(report.events_per_sec),
+        "mean_view_age_rounds": float(report.mean_view_age / interval),
+    }

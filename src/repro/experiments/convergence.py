@@ -27,7 +27,7 @@ import numpy as np
 from ..core.distributed import MinEOptimizer
 from ..core.qp import solve_coordinate_descent
 from ..core.state import AllocationState
-from ..engine import SweepEngine
+from ..engine import BACKENDS, SweepEngine
 from .common import (
     LARGE_SIZES,
     PAPER_AVG_LOADS,
@@ -225,7 +225,7 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--repetitions", type=int, default=1)
     parser.add_argument("--quick", action="store_true", help="reduced grid")
     parser.add_argument("--backend", default="serial",
-                        choices=("serial", "process", "chunked"))
+                        choices=BACKENDS)
     parser.add_argument("--workers", type=int, default=None)
     args = parser.parse_args(argv)
 

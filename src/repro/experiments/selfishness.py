@@ -24,7 +24,7 @@ import numpy as np
 
 from ..core.game import best_response_dynamics
 from ..core.qp import solve_coordinate_descent
-from ..engine import SweepEngine
+from ..engine import BACKENDS, SweepEngine
 from .common import Setting, make_instance, paper_settings, streaming_announcer
 from .report import format_grouped_table
 
@@ -153,7 +153,7 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--quick", action="store_true")
     parser.add_argument("--repetitions", type=int, default=1)
     parser.add_argument("--backend", default="serial",
-                        choices=("serial", "process", "chunked"))
+                        choices=BACKENDS)
     parser.add_argument("--workers", type=int, default=None)
     args = parser.parse_args(argv)
     exec_kw = dict(backend=args.backend, max_workers=args.workers)

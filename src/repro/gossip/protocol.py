@@ -69,6 +69,32 @@ class GossipNetwork:
         """Node ``i``'s current view of all per-server values."""
         return self.values[i].copy()
 
+    def view_versions(self, i: int) -> np.ndarray:
+        """Per-entry versions behind node ``i``'s view.
+
+        Entry ``k`` is the global publish-clock value at which the version
+        node ``i`` currently holds of server ``k`` was published; ``-1``
+        marks an entry never heard of.  Staleness metrics (e.g. the
+        :mod:`repro.livesim` view-age statistics) compare these against
+        the authoritative diagonal versions.
+        """
+        return self.versions[i].copy()
+
+    def view_ages(self, i: int) -> np.ndarray:
+        """Per-entry *age* of node ``i``'s view, in publish-clock ticks.
+
+        Age is ``clock − version`` — how many publishes ago the entry
+        node ``i`` holds was produced.  Ages grow monotonically between
+        publishes of an entry and reset to 0 on the authoritative node
+        the moment it republishes.  Entries never heard of have infinite
+        age.
+        """
+        versions = self.versions[i]
+        ages = np.where(
+            versions >= 0, float(self.clock) - versions, np.inf
+        )
+        return ages
+
     # ------------------------------------------------------------------
     def _merge(self, a: int, b: int) -> None:
         newer = self.versions[b] > self.versions[a]

@@ -1,0 +1,73 @@
+"""Event-driven asynchronous control plane inside the stream simulator.
+
+The lock-stepped layers — :class:`repro.gossip.GossipNetwork` rounds and
+:class:`repro.core.distributed.MinEOptimizer` sweeps — model Section IV's
+*conclusions*; this package models its *mechanism*.  Gossip exchanges,
+MinE partner proposals and the exchanges themselves all run as
+discrete-event processes on one shared event heap, with control messages
+delayed by the instance's RTT matrix, dropped with probability ``p`` and
+subject to server churn — so load views are stale by genuine in-flight
+time, and pairwise exchanges are a two-message handshake racing against
+everyone else's.
+
+Layers (bottom-up):
+
+* :mod:`repro.livesim.net` — RTT-delayed, lossy control-message
+  transport over the shared event heap;
+* :mod:`repro.livesim.gossip` — per-server async push–pull gossip with
+  versioned, time-stamped entries (view age = staleness metric);
+* :mod:`repro.livesim.agents` — async MinE agents: propose/accept
+  handshake with timeouts, one in-flight exchange per server, conflicts
+  resolved by server id;
+* :mod:`repro.livesim.churn` — servers crash (shedding their remote
+  load), stay down, rejoin;
+* :mod:`repro.livesim.driver` — :class:`LiveSimulation`, coupling the
+  control plane with Poisson request traffic routed by the *live*
+  allocation, recording the ΣCi trajectory, per-server error versus the
+  offline optimum and convergence/re-convergence times;
+* :mod:`repro.livesim.sweep` — sync-vs-async convergence sweeps through
+  :class:`repro.engine.SweepEngine`.
+
+Quickstart:
+
+>>> from repro.livesim import LiveSimulation, get_live_preset
+>>> from repro.workloads import get_scenario
+>>> inst = get_scenario("paper-planetlab").instance(16, seed=0)
+>>> sim = LiveSimulation(inst, config=get_live_preset("ideal"), seed=0)
+>>> report = sim.run(rounds=40)                          # doctest: +SKIP
+>>> report.final_error, report.events_per_sec            # doctest: +SKIP
+"""
+
+from .agents import AgentStats, ExchangeAgents
+from .churn import ChurnModel, fail_server, rejoin_server, start_churn
+from .driver import (
+    LIVE_PRESETS,
+    LiveConfig,
+    LiveReport,
+    LiveSimulation,
+    get_live_preset,
+)
+from .gossip import AsyncGossip, GossipStats
+from .net import ControlNetwork, NetStats
+from .sweep import LiveCell, evaluate_live_cell, live_sweep
+
+__all__ = [
+    "LiveSimulation",
+    "LiveConfig",
+    "LiveReport",
+    "LIVE_PRESETS",
+    "get_live_preset",
+    "AsyncGossip",
+    "GossipStats",
+    "ExchangeAgents",
+    "AgentStats",
+    "ControlNetwork",
+    "NetStats",
+    "ChurnModel",
+    "start_churn",
+    "fail_server",
+    "rejoin_server",
+    "LiveCell",
+    "evaluate_live_cell",
+    "live_sweep",
+]

@@ -1,0 +1,216 @@
+"""Asynchronous MinE agents: pairwise exchanges as a delayed handshake.
+
+Each server runs an agent process that periodically (jittered interval)
+selects its best exchange partner from its *current gossip view*
+(:func:`repro.core.distributed.propose_partner`) and, if the expected
+improvement clears the threshold, starts a two-message handshake:
+
+``PROPOSE i→j``
+    ``j`` ACCEPTs when idle.  When ``j`` has an outstanding proposal of
+    its own, the conflict is resolved by server id: a proposer with a
+    *lower* id preempts ``j``'s own proposal (``j`` abandons it and
+    accepts); otherwise ``j`` REJECTs.  A busy acceptor always rejects.
+``ACCEPT j→i``
+    The pair is now synchronized: ``i`` computes Algorithm 1 on the
+    *true* current state (:func:`~repro.core.distributed.
+    apply_pair_exchange`) and applies it if it still improves — the
+    stale view chose the partner, never the transfer.  ``i`` then sends
+    ``DONE`` so ``j`` can unlock.
+
+Each server holds at most one in-flight exchange (a ``busy`` slot
+guards both roles) and every wait is bounded by a timeout, so dropped
+messages and dead peers stall nothing: the proposer frees itself after
+``propose_timeout``, the acceptor after ``accept_timeout``.  Stale
+replies are discarded by token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.distributed import PairExchange, apply_pair_exchange, propose_partner
+from ..core.state import AllocationState
+from ..sim.events import Environment, Timeout
+from .gossip import AsyncGossip
+from .net import ControlNetwork
+
+__all__ = ["ExchangeAgents", "AgentStats"]
+
+#: busy-slot roles
+_PROPOSING = "proposing"
+_ACCEPTED = "accepted"
+
+
+@dataclass
+class AgentStats:
+    """Counters of the exchange handshake layer."""
+
+    proposals: int = 0
+    accepts: int = 0
+    rejects: int = 0
+    preemptions: int = 0        #: own proposal abandoned for a lower id
+    exchanges: int = 0          #: handshakes that moved load
+    noop_exchanges: int = 0     #: synced pairs with nothing left to move
+    aborted: int = 0            #: partner died before the exchange applied
+    propose_timeouts: int = 0
+    accept_timeouts: int = 0
+    stale_messages: int = 0     #: replies whose token no longer matches
+
+
+class ExchangeAgents:
+    """One asynchronous Algorithm 2 agent per server."""
+
+    def __init__(
+        self,
+        env: Environment,
+        net: ControlNetwork,
+        state: AllocationState,
+        gossip: AsyncGossip,
+        alive: np.ndarray,
+        seeds: list[np.random.SeedSequence],
+        *,
+        interval: float,
+        propose_timeout: float,
+        accept_timeout: float,
+        min_improvement: float = 1e-9,
+        on_exchange: Callable[[PairExchange], None] | None = None,
+        trace: list | None = None,
+    ):
+        m = state.inst.m
+        if len(seeds) != m:
+            raise ValueError("need one RNG seed per server")
+        self.env = env
+        self.net = net
+        self.state = state
+        self.gossip = gossip
+        self.alive = alive
+        self.interval = float(interval)
+        self.propose_timeout = float(propose_timeout)
+        self.accept_timeout = float(accept_timeout)
+        self.min_improvement = float(min_improvement)
+        self.on_exchange = on_exchange
+        self.trace = trace
+        self.rngs = [np.random.default_rng(s) for s in seeds]
+        self.stats = AgentStats()
+        self.owners = np.flatnonzero(state.inst.loads > 0)
+        #: per-server busy slot: ``None`` or ``(role, peer, token)``
+        self.busy: list[tuple[str, int, int] | None] = [None] * m
+        self._next_token = 0
+        for i in range(m):
+            env.process(self._cycle(i))
+
+    # ------------------------------------------------------------------
+    def cancel(self, i: int) -> None:
+        """Drop server ``i``'s in-flight handshake (called on failure);
+        late replies are discarded by token mismatch."""
+        self.busy[i] = None
+
+    def _record(self, *entry) -> None:
+        if self.trace is not None:
+            self.trace.append(entry)
+
+    def _after(self, delay: float, check: Callable[[], None]) -> None:
+        Timeout(self.env, delay).add_callback(lambda _ev: check())
+
+    # ------------------------------------------------------------------
+    def _cycle(self, i: int):
+        rng = self.rngs[i]
+        while True:
+            yield self.env.timeout(self.interval * (0.5 + rng.random()))
+            if not self.alive[i] or self.busy[i] is not None:
+                continue
+            view = self.gossip.view(i)
+            j, impr = propose_partner(
+                self.state.inst, self.state.R, i, view, owners=self.owners
+            )
+            if j < 0 or impr <= self.min_improvement:
+                continue
+            self._next_token += 1
+            token = self._next_token
+            self.busy[i] = (_PROPOSING, j, token)
+            self.stats.proposals += 1
+            self._record("propose", self.env.now, i, j, token)
+            self.net.send(i, j, self._on_propose, (i, j, token))
+            self._after(
+                self.propose_timeout, lambda i=i, token=token: self._expire(
+                    i, token, _PROPOSING
+                )
+            )
+
+    def _expire(self, i: int, token: int, role: str) -> None:
+        slot = self.busy[i]
+        if slot is not None and slot[0] == role and slot[2] == token:
+            self.busy[i] = None
+            if role == _PROPOSING:
+                self.stats.propose_timeouts += 1
+            else:
+                self.stats.accept_timeouts += 1
+            self._record("timeout", self.env.now, i, role, token)
+
+    # ------------------------------------------------------------------
+    # Message handlers (run at the destination at delivery time)
+    # ------------------------------------------------------------------
+    def _on_propose(self, msg) -> None:
+        i, j, token = msg
+        slot = self.busy[j]
+        preempt = slot is not None and slot[0] == _PROPOSING and i < j
+        if slot is None or preempt:
+            if preempt:
+                self.stats.preemptions += 1
+            self.busy[j] = (_ACCEPTED, i, token)
+            self.stats.accepts += 1
+            self._record("accept", self.env.now, j, i, token)
+            self.net.send(j, i, self._on_accept, (i, j, token))
+            self._after(
+                self.accept_timeout, lambda j=j, token=token: self._expire(
+                    j, token, _ACCEPTED
+                )
+            )
+        else:
+            self.stats.rejects += 1
+            self.net.send(j, i, self._on_reject, (i, j, token))
+
+    def _on_accept(self, msg) -> None:
+        i, j, token = msg
+        if self.busy[i] != (_PROPOSING, j, token):
+            # Timed out (or preempted) in the meantime: no exchange, but
+            # still release the acceptor instead of letting it time out.
+            self.stats.stale_messages += 1
+            self.net.send(i, j, self._on_done, (i, j, token))
+            return
+        self.busy[i] = None
+        if self.alive[j]:
+            ex = apply_pair_exchange(
+                self.state, i, j, min_improvement=self.min_improvement
+            )
+            if ex is not None:
+                self.stats.exchanges += 1
+                self._record(
+                    "exchange", self.env.now, i, j, ex.improvement, ex.moved
+                )
+                if self.on_exchange is not None:
+                    self.on_exchange(ex)
+            else:
+                self.stats.noop_exchanges += 1
+        else:
+            # The pair-sync connection broke: j failed while ACCEPT was in
+            # flight, so the exchange never happens.
+            self.stats.aborted += 1
+        self.net.send(i, j, self._on_done, (i, j, token))
+
+    def _on_reject(self, msg) -> None:
+        i, j, token = msg
+        if self.busy[i] == (_PROPOSING, j, token):
+            self.busy[i] = None
+        else:
+            self.stats.stale_messages += 1
+
+    def _on_done(self, msg) -> None:
+        i, j, token = msg
+        if self.busy[j] == (_ACCEPTED, i, token):
+            self.busy[j] = None
+        else:
+            self.stats.stale_messages += 1

@@ -1,0 +1,99 @@
+"""Churn: servers crash, shed their remote load, and rejoin later.
+
+Each server (independently, on its own RNG stream) fails after an
+exponential holding time and stays down for an exponential downtime.
+A failure is a *restart that loses the server's queue*: every remote
+organization fails its requests back over to its own local server
+(``r_kj → r_kk``), which perturbs the allocation and spikes ``ΣCi`` —
+the re-convergence the livesim acceptance tests measure.  While down, a
+server neither gossips nor handshakes and all messages delivered to it
+are lost; on rejoin it republishes its (now empty) authoritative entry
+and the agents rebalance load back onto it.
+
+Message loss (probability ``p``) is orthogonal and lives in
+:class:`repro.livesim.net.ControlNetwork`; this module only models the
+leave/rejoin process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.state import AllocationState
+from ..sim.events import Environment
+
+__all__ = ["ChurnModel", "start_churn", "fail_server", "rejoin_server"]
+
+
+@dataclass(frozen=True)
+class ChurnModel:
+    """Failure process parameters.
+
+    ``rate`` is the expected number of restarts per server per
+    *agent-interval round* (the natural clock of the control plane, so a
+    preset means the same thing on a 0.5 ms fat-tree and a 90 ms WAN);
+    ``downtime_rounds`` is the mean downtime in the same unit.
+    """
+
+    rate: float = 0.0
+    downtime_rounds: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("churn rate must be non-negative")
+        if self.downtime_rounds <= 0:
+            raise ValueError("mean downtime must be positive")
+
+
+def fail_server(state: AllocationState, j: int) -> float:
+    """Apply the allocation effect of server ``j`` crashing: every other
+    organization's requests on ``j`` fail over to their local servers.
+    Returns the volume of requests displaced."""
+    R = state.R
+    col = R[:, j].copy()
+    col[j] = 0.0  # org j's own requests stay pinned to its (down) server
+    movers = np.flatnonzero(col)
+    if movers.size:
+        R[movers, movers] += col[movers]
+        R[movers, j] = 0.0
+        state.refresh_loads()
+    return float(col.sum())
+
+
+def rejoin_server(state: AllocationState, j: int) -> None:
+    """Allocation effect of ``j`` rejoining: none — it comes back holding
+    only whatever its own organization kept pinned locally."""
+
+
+def start_churn(
+    env: Environment,
+    model: ChurnModel,
+    seeds: list[np.random.SeedSequence],
+    *,
+    agent_interval: float,
+    on_fail: Callable[[int], None],
+    on_rejoin: Callable[[int], None],
+) -> None:
+    """Spawn one leave/rejoin process per server.
+
+    No process is spawned when ``model.rate == 0`` — churn at rate zero
+    is *exactly* churn disabled, which the determinism tests assert.
+    """
+    if model.rate == 0.0:
+        return
+    mean_up = agent_interval / model.rate
+    mean_down = agent_interval * model.downtime_rounds
+
+    def _cycle(j: int):
+        rng = np.random.default_rng(seeds[j])
+        while True:
+            yield env.timeout(rng.exponential(mean_up))
+            on_fail(j)
+            yield env.timeout(rng.exponential(mean_down))
+            on_rejoin(j)
+
+    for j in range(len(seeds)):
+        env.process(_cycle(j))

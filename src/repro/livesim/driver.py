@@ -1,0 +1,424 @@
+"""`LiveSimulation` — the full control plane inside one event heap.
+
+Couples, on a single :class:`repro.sim.events.Environment`:
+
+* the async gossip layer (:class:`repro.livesim.gossip.AsyncGossip`),
+* the async MinE exchange agents
+  (:class:`repro.livesim.agents.ExchangeAgents`),
+* the churn/failure model (:mod:`repro.livesim.churn`),
+* optional Poisson request traffic routed by the *live* allocation
+  (the :mod:`repro.sim.runner` stream model, but with routing fractions
+  that change as exchanges apply).
+
+Everything is deterministic given ``seed``: one event heap orders all
+events, and every stochastic process (gossip jitter per server, agent
+jitter per server, churn per server, traffic per organization, message
+loss) draws from its own :class:`numpy.random.SeedSequence`-spawned
+stream, so adding or removing one subsystem never perturbs the others.
+
+Control-plane intervals default to multiples of the instance's latency
+scale, so the same :class:`LiveConfig` means the same thing on a 0.5 ms
+fat-tree and a 90 ms WAN ring.  Named presets (``"ideal"``, ``"lossy"``,
+``"churn"``) cover the sweep axes of the benchmarks.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.state import AllocationState
+from ..sim.events import Environment
+from ..sim.server import Request, SimServer
+from .agents import AgentStats, ExchangeAgents
+from .churn import ChurnModel, fail_server, rejoin_server, start_churn
+from .gossip import AsyncGossip, GossipStats
+from .net import ControlNetwork, NetStats
+
+__all__ = [
+    "LiveConfig",
+    "LiveReport",
+    "LiveSimulation",
+    "LIVE_PRESETS",
+    "get_live_preset",
+]
+
+_LIVESIM_ENTROPY = 0x11FE5137
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """Control-plane parameters of one live simulation.
+
+    Interval/timeout fields left at ``None`` are resolved against the
+    instance's latency scale (median finite positive latency ``base``,
+    maximum finite latency ``far``):
+
+    * ``gossip_interval = 3·base`` — views refresh a few times per agent
+      round, the paper's "gossip O(log m) times more frequently";
+    * ``agent_interval = 6·base`` — one expected proposal per server per
+      round;
+    * ``propose_timeout = 3·far + base`` — covers the round trip to the
+      farthest peer with slack;
+    * ``accept_timeout = 2·propose_timeout`` — the acceptor always
+      outlives the proposer's retry, so locks cannot leak.
+
+    ``churn_rate`` is restarts per server per agent round (see
+    :class:`repro.livesim.churn.ChurnModel`); ``arrival_rate_scale``
+    scales the Poisson request traffic exactly as in
+    :func:`repro.sim.runner.simulate_stream` (0 disables traffic).
+    """
+
+    gossip_interval: float | None = None
+    agent_interval: float | None = None
+    propose_timeout: float | None = None
+    accept_timeout: float | None = None
+    p_drop: float = 0.0
+    churn_rate: float = 0.0
+    churn_downtime_rounds: float = 3.0
+    min_improvement: float = 1e-9
+    arrival_rate_scale: float = 0.0
+
+    def resolve(self, inst: Instance) -> "LiveConfig":
+        """A copy with every ``None`` interval filled from the latency
+        scale of ``inst``."""
+        lat = inst.latency[np.isfinite(inst.latency) & (inst.latency > 0)]
+        base = float(np.median(lat)) if lat.size else 1.0
+        base = max(base, 1e-3)
+        far = float(lat.max()) if lat.size else 1.0
+        gossip = self.gossip_interval if self.gossip_interval is not None else 3.0 * base
+        agent = self.agent_interval if self.agent_interval is not None else 6.0 * base
+        propose = (
+            self.propose_timeout
+            if self.propose_timeout is not None
+            else 3.0 * far + base
+        )
+        accept = (
+            self.accept_timeout
+            if self.accept_timeout is not None
+            else 2.0 * propose
+        )
+        return replace(
+            self,
+            gossip_interval=float(gossip),
+            agent_interval=float(agent),
+            propose_timeout=float(propose),
+            accept_timeout=float(accept),
+        )
+
+
+#: Named control-plane presets swept by the benchmarks: the ideal
+#: asynchronous plane, a lossy WAN, and a churning fleet (message loss
+#: plus server restarts — the re-convergence acceptance case).
+LIVE_PRESETS: dict[str, LiveConfig] = {
+    "ideal": LiveConfig(),
+    "lossy": LiveConfig(p_drop=0.10),
+    "churn": LiveConfig(p_drop=0.02, churn_rate=0.004, churn_downtime_rounds=3.0),
+}
+
+
+def get_live_preset(name: str) -> LiveConfig:
+    """Look up a named control-plane preset."""
+    try:
+        return LIVE_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(LIVE_PRESETS))
+        raise KeyError(f"unknown live preset {name!r}; known: {known}") from None
+
+
+@dataclass
+class LiveReport:
+    """Everything one :meth:`LiveSimulation.run` measured."""
+
+    horizon: float
+    times: np.ndarray             #: sample times of the ΣCi trajectory
+    costs: np.ndarray             #: ΣCi at those times
+    initial_cost: float
+    final_cost: float
+    optimum_cost: float           #: offline optimum (``nan`` if not given)
+    final_loads: np.ndarray
+    per_server_error: np.ndarray | None  #: |l_final − l*| when optimum known
+    failures: list[tuple[float, int]]
+    rejoins: list[tuple[float, int]]
+    net: NetStats
+    gossip: GossipStats
+    agents: AgentStats
+    mean_view_age: float
+    events_processed: int
+    wall_s: float
+    requests_submitted: int = 0
+    requests_completed: int = 0
+    requests_failed: int = 0
+    request_mean_latency: float = float("nan")
+    trace: list = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def events_per_sec(self) -> float:
+        return self.events_processed / self.wall_s if self.wall_s > 0 else float("inf")
+
+    def relative_errors(self) -> np.ndarray:
+        """Per-sample relative error of the trajectory vs the optimum."""
+        if not np.isfinite(self.optimum_cost) or self.optimum_cost <= 0:
+            return np.full_like(self.costs, np.nan)
+        return (self.costs - self.optimum_cost) / self.optimum_cost
+
+    @property
+    def final_error(self) -> float:
+        errs = self.relative_errors()
+        return float(errs[-1]) if errs.size else float("nan")
+
+    def time_to_within(self, rel_tol: float) -> float:
+        """Earliest sample time from which the trajectory *stays* within
+        ``rel_tol`` of the optimum (``nan`` if it never settles there)."""
+        errs = self.relative_errors()
+        if errs.size == 0 or not np.isfinite(errs[-1]) or errs[-1] > rel_tol:
+            return float("nan")
+        above = np.flatnonzero(errs > rel_tol)
+        idx = 0 if above.size == 0 else int(above[-1]) + 1
+        return float(self.times[idx])
+
+    def reconvergence_times(self, rel_tol: float) -> list[float]:
+        """For each failure event, the first sample time at which the
+        trajectory is back within ``rel_tol`` (``nan`` if never)."""
+        errs = self.relative_errors()
+        out = []
+        for t_fail, _j in self.failures:
+            after = np.flatnonzero((self.times >= t_fail) & (errs <= rel_tol))
+            out.append(float(self.times[after[0]]) if after.size else float("nan"))
+        return out
+
+
+class LiveSimulation:
+    """Run gossip + MinE + churn (+ request traffic) as one live system.
+
+    Parameters
+    ----------
+    inst:
+        The problem instance.
+    config:
+        Control-plane parameters; ``None`` intervals resolve against the
+        instance's latency scale.
+    seed:
+        Single integer seeding every per-process RNG stream; two
+        simulations with equal ``(inst, config, seed)`` produce identical
+        event traces and final allocations.
+    state:
+        Starting allocation (default: everyone runs locally).
+    optimum:
+        Offline optimum for error/convergence metrics — a cost, or an
+        :class:`AllocationState` (also enabling per-server load errors).
+    """
+
+    def __init__(
+        self,
+        inst: Instance,
+        *,
+        config: LiveConfig | None = None,
+        seed: int = 0,
+        state: AllocationState | None = None,
+        optimum: "AllocationState | float | None" = None,
+    ):
+        self.inst = inst
+        self.config = (config if config is not None else LiveConfig()).resolve(inst)
+        self.state = state.copy() if state is not None else AllocationState.initial(inst)
+        if isinstance(optimum, AllocationState):
+            self.optimum_cost = optimum.total_cost()
+            self.optimum_loads: np.ndarray | None = optimum.loads.copy()
+        elif optimum is not None:
+            self.optimum_cost = float(optimum)
+            self.optimum_loads = None
+        else:
+            self.optimum_cost = float("nan")
+            self.optimum_loads = None
+
+        m = inst.m
+        cfg = self.config
+        self.env = Environment()
+        self.alive = np.ones(m, dtype=bool)
+        self.trace: list = []
+        self.failures: list[tuple[float, int]] = []
+        self.rejoins: list[tuple[float, int]] = []
+        self._cost_times: list[tuple[float, float]] = []
+        self._wall = 0.0
+
+        root = np.random.SeedSequence(
+            entropy=_LIVESIM_ENTROPY, spawn_key=(int(seed),)
+        )
+        gossip_par, agent_par, churn_par, traffic_par, drop_seq = root.spawn(5)
+
+        self.net = ControlNetwork(
+            self.env,
+            inst.latency,
+            self.alive,
+            p_drop=cfg.p_drop,
+            drop_rng=np.random.default_rng(drop_seq),
+        )
+        self.gossip = AsyncGossip(
+            self.env,
+            self.net,
+            inst,
+            self.state,
+            self.alive,
+            gossip_par.spawn(m),
+            interval=cfg.gossip_interval,
+        )
+        self.agents = ExchangeAgents(
+            self.env,
+            self.net,
+            self.state,
+            self.gossip,
+            self.alive,
+            agent_par.spawn(m),
+            interval=cfg.agent_interval,
+            propose_timeout=cfg.propose_timeout,
+            accept_timeout=cfg.accept_timeout,
+            min_improvement=cfg.min_improvement,
+            on_exchange=lambda _ex: self._sample_cost(),
+            trace=self.trace,
+        )
+        start_churn(
+            self.env,
+            ChurnModel(
+                rate=cfg.churn_rate,
+                downtime_rounds=cfg.churn_downtime_rounds,
+            ),
+            churn_par.spawn(m),
+            agent_interval=cfg.agent_interval,
+            on_fail=self._fail,
+            on_rejoin=self._rejoin,
+        )
+
+        self._requests: list[Request] = []
+        self._requests_generated = 0
+        self._requests_failed = 0
+        if cfg.arrival_rate_scale > 0:
+            self.servers = [
+                SimServer(self.env, j, float(inst.speeds[j])) for j in range(m)
+            ]
+            for i, child in enumerate(traffic_par.spawn(m)):
+                rate = float(inst.loads[i]) * cfg.arrival_rate_scale
+                if rate > 0:
+                    self.env.process(
+                        self._traffic_source(i, rate, np.random.default_rng(child))
+                    )
+        else:
+            self.servers = []
+
+        self._sample_cost()  # t = 0 anchor
+
+    # ------------------------------------------------------------------
+    def _sample_cost(self) -> None:
+        self._cost_times.append((self.env.now, self.state.total_cost()))
+
+    def _fail(self, j: int) -> None:
+        if not self.alive[j]:
+            return
+        self.alive[j] = False
+        self.agents.cancel(j)
+        displaced = fail_server(self.state, j)
+        self.failures.append((self.env.now, j))
+        self.trace.append(("fail", self.env.now, j, displaced))
+        self._sample_cost()
+
+    def _rejoin(self, j: int) -> None:
+        if self.alive[j]:
+            return
+        self.alive[j] = True
+        rejoin_server(self.state, j)
+        # Announce the comeback: the empty server republishes itself so
+        # gossip spreads the rebalancing opportunity.
+        self.gossip.publish(j)
+        self.rejoins.append((self.env.now, j))
+        self.trace.append(("rejoin", self.env.now, j))
+        self._sample_cost()
+
+    def _traffic_source(self, i: int, rate: float, rng: np.random.Generator):
+        inst = self.inst
+        n_i = float(inst.loads[i])
+        while True:
+            yield self.env.timeout(rng.exponential(1.0 / rate))
+            self._requests_generated += 1
+            # Live routing fractions; clip float dust from incremental
+            # column updates so the probabilities stay a distribution.
+            p = np.clip(self.state.R[i], 0.0, None) / n_i
+            p = p / p.sum()
+            j = int(rng.choice(inst.m, p=p))
+            delay = float(inst.latency[i, j])
+            if not self.alive[j] or not np.isfinite(delay):
+                self._requests_failed += 1
+                continue
+            req = Request(owner=i, server=j, t_submit=self.env.now)
+            self._requests.append(req)
+            self.env.process(self._in_flight(req, delay))
+
+    def _in_flight(self, req: Request, delay: float):
+        yield self.env.timeout(delay)
+        if self.alive[req.server]:
+            self.servers[req.server].submit(req)
+        else:
+            self._requests_failed += 1
+
+    # ------------------------------------------------------------------
+    def run(
+        self, *, rounds: float | None = None, until: float | None = None
+    ) -> LiveReport:
+        """Advance the simulation by ``rounds`` agent intervals (or to
+        absolute sim-time ``until``) and return the report so far.
+
+        May be called repeatedly to extend a run; metrics accumulate.
+        """
+        if (rounds is None) == (until is None):
+            raise ValueError("give exactly one of rounds= or until=")
+        horizon = (
+            float(until)
+            if until is not None
+            else self.env.now + float(rounds) * self.config.agent_interval
+        )
+        t0 = _time.perf_counter()
+        self.env.run(until=horizon)
+        self._wall += _time.perf_counter() - t0
+        self._sample_cost()
+        return self.report()
+
+    def report(self) -> LiveReport:
+        """The metrics accumulated so far."""
+        times = np.asarray([t for t, _ in self._cost_times])
+        costs = np.asarray([c for _, c in self._cost_times])
+        completed = [r for r in self._requests if not np.isnan(r.t_complete)]
+        mean_lat = (
+            float(np.mean([r.latency for r in completed]))
+            if completed
+            else float("nan")
+        )
+        per_server_error = (
+            np.abs(self.state.loads - self.optimum_loads)
+            if self.optimum_loads is not None
+            else None
+        )
+        return LiveReport(
+            horizon=self.env.now,
+            times=times,
+            costs=costs,
+            initial_cost=float(costs[0]),
+            final_cost=float(costs[-1]),
+            optimum_cost=self.optimum_cost,
+            final_loads=self.state.loads.copy(),
+            per_server_error=per_server_error,
+            failures=list(self.failures),
+            rejoins=list(self.rejoins),
+            net=self.net.stats,
+            gossip=self.gossip.stats,
+            agents=self.agents.stats,
+            mean_view_age=self.gossip.mean_view_age(),
+            events_processed=self.env.processed,
+            wall_s=self._wall,
+            requests_submitted=self._requests_generated,
+            requests_completed=len(completed),
+            requests_failed=self._requests_failed,
+            request_mean_latency=mean_lat,
+            trace=self.trace,
+        )

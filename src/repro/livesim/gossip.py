@@ -1,0 +1,169 @@
+"""Asynchronous push–pull gossip running as discrete-event processes.
+
+The round-based :class:`repro.gossip.GossipNetwork` advances all nodes in
+lock step; here every server runs its *own* jittered publish/exchange
+loop on the shared event heap.  One cycle of server ``i``:
+
+1. publish its authoritative entry (its current true load, a fresh
+   per-origin version, and the publish sim-time);
+2. pick a random finite-latency peer ``j`` and send it a PUSH carrying a
+   copy of ``i``'s whole table;
+3. on delivery, ``j`` merges the table entry-wise by per-origin version
+   and replies with a PULL-REPLY carrying its merged table, which ``i``
+   merges in turn when (and if) it arrives.
+
+Because both legs travel through :class:`repro.livesim.net.ControlNetwork`
+views are stale by real in-flight time: entry ages (``now − publish
+time``) are the staleness metric the driver reports.  Down servers
+neither publish nor reply; their authoritative entries age until they
+rejoin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.state import AllocationState
+from ..sim.events import Environment
+from .net import ControlNetwork
+
+__all__ = ["AsyncGossip", "GossipStats"]
+
+
+@dataclass
+class GossipStats:
+    """Counters of the gossip layer."""
+
+    publishes: int = 0
+    pushes: int = 0
+    pull_replies: int = 0
+    merges: int = 0
+
+
+class AsyncGossip:
+    """Per-server gossip tables plus the processes that exchange them.
+
+    ``values[i, k]`` is server ``i``'s view of server ``k``'s load,
+    ``versions[i, k]`` the per-origin version of that view and
+    ``stamps[i, k]`` the sim-time at which origin ``k`` published it —
+    so ``env.now − stamps[i]`` is the *information age* of ``i``'s view.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        net: ControlNetwork,
+        inst: Instance,
+        state: AllocationState,
+        alive: np.ndarray,
+        seeds: list[np.random.SeedSequence],
+        *,
+        interval: float,
+    ):
+        m = inst.m
+        if len(seeds) != m:
+            raise ValueError("need one RNG seed per server")
+        self.env = env
+        self.net = net
+        self.inst = inst
+        self.state = state
+        self.alive = alive
+        self.interval = float(interval)
+        self.rngs = [np.random.default_rng(s) for s in seeds]
+        self.stats = GossipStats()
+
+        # Bootstrap: the starting allocation (everyone runs locally) is
+        # common knowledge, so every table starts from the true initial
+        # loads at version 0 / age 0 rather than from blank entries.
+        self.values = np.tile(np.asarray(state.loads, dtype=np.float64), (m, 1))
+        self.versions = np.zeros((m, m), dtype=np.int64)
+        self.stamps = np.zeros((m, m))
+        self._own_version = np.zeros(m, dtype=np.int64)
+        # Peers reachable over a finite-latency link (gossip cannot cross
+        # forbidden links any more than requests can).
+        self.peers = [
+            np.flatnonzero(np.isfinite(inst.latency[i]) & (np.arange(m) != i))
+            for i in range(m)
+        ]
+        # Every server knows its own load exactly at t = 0.
+        for i in range(m):
+            self.publish(i)
+        for i in range(m):
+            env.process(self._cycle(i))
+
+    # ------------------------------------------------------------------
+    def publish(self, i: int) -> None:
+        """Server ``i`` (re)publishes its authoritative entry: its true
+        current load, freshly versioned and stamped with the sim-time."""
+        self._own_version[i] += 1
+        self.values[i, i] = self.state.loads[i]
+        self.versions[i, i] = self._own_version[i]
+        self.stamps[i, i] = self.env.now
+        self.stats.publishes += 1
+
+    def view(self, i: int) -> np.ndarray:
+        """Server ``i``'s current (stale) view of all loads; its own
+        entry is always live."""
+        out = self.values[i].copy()
+        out[i] = self.state.loads[i]
+        return out
+
+    def ages(self, i: int) -> np.ndarray:
+        """Information age of server ``i``'s view entries, in sim-time
+        units since the entry was published at its origin."""
+        return self.env.now - self.stamps[i]
+
+    def mean_view_age(self) -> float:
+        """Mean finite off-diagonal view age across all live servers."""
+        ages = self.env.now - self.stamps
+        m = self.inst.m
+        mask = np.isfinite(ages) & ~np.eye(m, dtype=bool)
+        mask &= self.alive[:, None]
+        if not mask.any():
+            return float("inf")
+        return float(ages[mask].mean())
+
+    # ------------------------------------------------------------------
+    def _cycle(self, i: int):
+        rng = self.rngs[i]
+        while True:
+            # Jittered interval: desynchronizes the population so gossip
+            # traffic is spread over time instead of thundering in herds.
+            yield self.env.timeout(self.interval * (0.5 + rng.random()))
+            if not self.alive[i] or self.peers[i].size == 0:
+                continue
+            self.publish(i)
+            j = int(self.peers[i][rng.integers(self.peers[i].size)])
+            self.stats.pushes += 1
+            self.net.send(i, j, self._on_push, self._packet(i, j))
+
+    def _packet(self, src: int, dst: int) -> tuple:
+        return (
+            src,
+            dst,
+            self.values[src].copy(),
+            self.versions[src].copy(),
+            self.stamps[src].copy(),
+        )
+
+    def _merge(self, dst: int, values, versions, stamps) -> None:
+        newer = versions > self.versions[dst]
+        if newer.any():
+            self.values[dst, newer] = values[newer]
+            self.versions[dst, newer] = versions[newer]
+            self.stamps[dst, newer] = stamps[newer]
+            self.stats.merges += 1
+
+    def _on_push(self, packet) -> None:
+        src, dst, values, versions, stamps = packet
+        self._merge(dst, values, versions, stamps)
+        # Pull half of the push–pull exchange: reply with the merged table.
+        self.stats.pull_replies += 1
+        self.net.send(dst, src, self._on_pull_reply, self._packet(dst, src))
+
+    def _on_pull_reply(self, packet) -> None:
+        src, dst, values, versions, stamps = packet
+        self._merge(dst, values, versions, stamps)

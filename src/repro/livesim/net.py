@@ -1,0 +1,89 @@
+"""RTT-delayed, lossy control-message transport for the live simulator.
+
+Every control message (gossip push/pull, propose/accept/reject/done) is
+scheduled on the shared :class:`repro.sim.events.Environment` heap with a
+delivery delay equal to the one-way latency ``c[src, dst]`` of the
+instance's RTT matrix — so views and handshakes are stale by genuine
+in-flight time, not by round count.  Messages are dropped with
+probability ``p_drop`` at send time (one shared, deterministic RNG
+stream) and are lost when the destination is down at *delivery* time —
+a message sent to a live server can still arrive at a dead one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..sim.events import Environment, Timeout
+
+__all__ = ["ControlNetwork", "NetStats"]
+
+
+@dataclass
+class NetStats:
+    """Counters of the control-plane transport."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0        #: lost in flight (probability ``p_drop``)
+    dead_letters: int = 0   #: delivered to a server that was down
+    unreachable: int = 0    #: no finite-latency path between the pair
+
+
+class ControlNetwork:
+    """Point-to-point message delivery over the instance's latency matrix.
+
+    ``handler(payload)`` runs at ``now + latency[src, dst]`` if the
+    message survives the loss draw and the destination is alive when it
+    arrives.  The loss draw consumes exactly one variate per send from
+    the dedicated ``drop_rng`` stream, keeping event traces deterministic
+    for a fixed seed.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: np.ndarray,
+        alive: np.ndarray,
+        *,
+        p_drop: float = 0.0,
+        drop_rng: np.random.Generator | None = None,
+    ):
+        if not 0.0 <= p_drop < 1.0:
+            raise ValueError("p_drop must be in [0, 1)")
+        self.env = env
+        self.latency = latency
+        self.alive = alive
+        self.p_drop = float(p_drop)
+        self.drop_rng = drop_rng if drop_rng is not None else np.random.default_rng(0)
+        self.stats = NetStats()
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        handler: Callable[[Any], None],
+        payload: Any,
+    ) -> None:
+        """Schedule ``handler(payload)`` at the destination after the
+        one-way delay; may drop the message."""
+        delay = float(self.latency[src, dst])
+        if not np.isfinite(delay):
+            self.stats.unreachable += 1
+            return
+        self.stats.sent += 1
+        if self.p_drop > 0.0 and self.drop_rng.random() < self.p_drop:
+            self.stats.dropped += 1
+            return
+
+        def _deliver(_ev) -> None:
+            if not self.alive[dst]:
+                self.stats.dead_letters += 1
+                return
+            self.stats.delivered += 1
+            handler(payload)
+
+        Timeout(self.env, delay).add_callback(_deliver)

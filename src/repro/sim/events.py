@@ -89,6 +89,9 @@ class Environment:
 
     def __init__(self):
         self.now = 0.0
+        #: Number of events executed so far — the throughput denominator
+        #: reported by long-running simulations (events per second).
+        self.processed = 0
         self._heap: list[tuple[float, int, Event, Any]] = []
         self._counter = itertools.count()
         self._pending_callbacks: list[tuple[Callable[[Event], None], Event]] = []
@@ -131,6 +134,7 @@ class Environment:
             if event.triggered:
                 continue
             self.now = time
+            self.processed += 1
             event.succeed(value)
         self._drain_callbacks()
 

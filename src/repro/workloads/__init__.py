@@ -15,6 +15,7 @@ Single instances come straight out of the registry and feed any solver:
 >>> inst = get_scenario("federation-diurnal").instance(m=30, seed=1)
 """
 
+from .cache import cache_stats, cached_instance, cached_optimum, clear_cache
 from .loadmodels import (
     CorrelatedSurgeLoads,
     DiurnalLoads,
@@ -77,4 +78,9 @@ __all__ = [
     "ScenarioResult",
     "SweepCell",
     "evaluate_cell",
+    # cross-sweep memo cache
+    "cached_instance",
+    "cached_optimum",
+    "cache_stats",
+    "clear_cache",
 ]

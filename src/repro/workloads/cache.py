@@ -1,0 +1,151 @@
+"""In-process memo cache for scenario instances and their solved optima.
+
+The first slice of the ROADMAP's cross-sweep-caching item: cells of
+different sweeps (and different metric configs within one sweep) share
+the same materialized ``(scenario, m, seed)`` instance and — much more
+importantly — the same O(m²–m³) cooperative-optimum solve.  Both are
+memoized per process, keyed by the cell coordinates and guarded by the
+scenario *definition* (dataclass equality), so re-registering a
+same-named scenario with different parameters can never serve a stale
+instance.
+
+Workers of the process backends each hold their own cache, which is
+exactly what you want: a chunk of cells for the same scenario solves the
+optimum once per worker instead of once per cell.
+
+>>> from repro.workloads import cached_instance, cached_optimum
+>>> inst = cached_instance(get_scenario("cdn-flashcrowd"), 30, 0)
+>>> state, cost, wall, hit = cached_optimum(
+...     get_scenario("cdn-flashcrowd"), 30, 0)            # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..core.instance import Instance
+from ..core.qp import solve_optimal
+from ..core.state import AllocationState
+from .scenario import Scenario
+
+__all__ = [
+    "cached_instance",
+    "cached_optimum",
+    "cache_stats",
+    "clear_cache",
+]
+
+#: Entries kept per cache before FIFO eviction; at default preset sizes
+#: an instance plus its optimum is a few hundred KB, so the cap bounds
+#: the cache near a hundred MB even for very wide sweeps.
+MAX_ENTRIES = 256
+
+# key -> (scenario definition that produced the entry, payload)
+_INSTANCES: OrderedDict[tuple, tuple[Scenario, Instance]] = OrderedDict()
+_OPTIMA: OrderedDict[tuple, tuple[Scenario, AllocationState, float]] = OrderedDict()
+
+# Per-key solve locks: under the ``threads`` backend, concurrent cells
+# sharing a key must wait for one solve instead of duplicating it.
+_LOCKS_GUARD = threading.Lock()
+_KEY_LOCKS: dict[tuple, threading.Lock] = {}
+
+
+def _key_lock(key: tuple) -> threading.Lock:
+    with _LOCKS_GUARD:
+        lock = _KEY_LOCKS.get(key)
+        if lock is None:
+            lock = _KEY_LOCKS[key] = threading.Lock()
+        return lock
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (per process)."""
+
+    instance_hits: int = 0
+    instance_misses: int = 0
+    optimum_hits: int = 0
+    optimum_misses: int = 0
+
+
+_STATS = CacheStats()
+
+
+def _put(cache: OrderedDict, key: tuple, value) -> None:
+    cache[key] = value
+    while len(cache) > MAX_ENTRIES:
+        cache.popitem(last=False)
+
+
+def cached_instance(scenario: Scenario, m: int, seed: int) -> Instance:
+    """``scenario.instance(m, seed=seed)``, memoized.
+
+    Instances are immutable by convention throughout the repo, so the
+    same object is shared between callers.
+    """
+    key = (scenario.name, int(m), int(seed))
+    hit = _INSTANCES.get(key)
+    if hit is not None and hit[0] == scenario:
+        _STATS.instance_hits += 1
+        return hit[1]
+    with _key_lock(key):
+        hit = _INSTANCES.get(key)  # a concurrent thread may have built it
+        if hit is not None and hit[0] == scenario:
+            _STATS.instance_hits += 1
+            return hit[1]
+        _STATS.instance_misses += 1
+        inst = scenario.instance(m, seed=seed)
+        _put(_INSTANCES, key, (scenario, inst))
+        return inst
+
+
+def cached_optimum(
+    scenario: Scenario,
+    m: int,
+    seed: int,
+    *,
+    tol: float = 1e-9,
+    method: str = "auto",
+) -> tuple[AllocationState, float, float, bool]:
+    """The cooperative optimum of one cell, memoized.
+
+    Returns ``(state, total_cost, wall_s, hit)`` — ``state`` is a fresh
+    copy (optimizers mutate allocation states in place), ``wall_s`` the
+    wall time actually spent (0.0 on a hit).
+    """
+    key = (scenario.name, int(m), int(seed), float(tol), str(method))
+    hit = _OPTIMA.get(key)
+    if hit is not None and hit[0] == scenario:
+        _STATS.optimum_hits += 1
+        return hit[1].copy(), hit[2], 0.0, True
+    with _key_lock(key):
+        hit = _OPTIMA.get(key)  # a concurrent thread may have solved it
+        if hit is not None and hit[0] == scenario:
+            _STATS.optimum_hits += 1
+            return hit[1].copy(), hit[2], 0.0, True
+        _STATS.optimum_misses += 1
+        inst = cached_instance(scenario, m, seed)
+        t0 = time.perf_counter()
+        state = solve_optimal(inst, method=method, tol=tol)
+        wall = time.perf_counter() - t0
+        cost = state.total_cost()
+        _put(_OPTIMA, key, (scenario, state, cost))
+        return state.copy(), cost, wall, False
+
+
+def cache_stats() -> CacheStats:
+    """The per-process hit/miss counters."""
+    return _STATS
+
+
+def clear_cache() -> None:
+    """Empty both caches and reset the counters (tests)."""
+    _INSTANCES.clear()
+    _OPTIMA.clear()
+    with _LOCKS_GUARD:
+        _KEY_LOCKS.clear()
+    _STATS.instance_hits = _STATS.instance_misses = 0
+    _STATS.optimum_hits = _STATS.optimum_misses = 0

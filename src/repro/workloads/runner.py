@@ -47,6 +47,7 @@ import numpy as np
 
 from ..core.state import AllocationState
 from ..engine import JsonlStore, SweepEngine, get_evaluator, get_solver
+from .cache import cached_instance, cached_optimum
 from .scenario import Scenario, get_scenario
 
 __all__ = [
@@ -241,9 +242,9 @@ def _instance_digest(sc: Scenario, m: int, seed: int) -> str:
     bytes) catches every way a same-named scenario can be redefined —
     swapped load models, closure/partial topologies capturing different
     matrices, changed base seeds — where hashing the definition's repr
-    could not.  Costs one instance materialization per cell per store
-    lookup (O(m²) array generation, negligible next to a solve)."""
-    inst = sc.instance(m, seed=seed)
+    could not.  Costs at most one instance materialization per cell per
+    store lookup (served from the cross-sweep memo cache when warm)."""
+    inst = cached_instance(sc, m, seed)
     h = zlib.crc32(inst.speeds.tobytes())
     h = zlib.crc32(inst.loads.tobytes(), h)
     h = zlib.crc32(inst.latency.tobytes(), h)
@@ -305,14 +306,17 @@ def evaluate_cell(cell: SweepCell) -> ScenarioResult:
     """
     t0 = time.perf_counter()
     sc, m, seed = cell.scenario, cell.m, cell.seed
-    inst = sc.instance(m, seed=seed)
+    inst = cached_instance(sc, m, seed)
     # Independent sub-streams for the stochastic stages, derived from
     # the cell coordinates so each stage is individually reproducible.
     mine_rng, poa_rng, sim_rng = sc.rng(m, seed).spawn(3)
 
     initial_cost = AllocationState.initial(inst).total_cost()
-    opt = get_solver("optimal").solve(inst, tol=cell.solver_tol)
-    opt_cost = opt.total_cost
+    # The O(m²–m³) optimum solve is memoized across cells and sweeps
+    # (multi-solver cells and re-sweeps share one solve per cell key).
+    opt_state, opt_cost, opt_wall, _hit = cached_optimum(
+        sc, m, seed, tol=cell.solver_tol
+    )
 
     mine_err, mine_iters, mine_conv, mine_s = float("nan"), 0, False, 0.0
     if "mine" in cell.metrics:
@@ -339,7 +343,7 @@ def evaluate_cell(cell: SweepCell) -> ScenarioResult:
         t_stream = time.perf_counter()
         measured = get_evaluator("stream")(
             inst,
-            opt.state,
+            opt_state,
             rng=sim_rng,
             horizon=cell.stream_horizon,
             events_target=cell.stream_events_target,
@@ -361,7 +365,7 @@ def evaluate_cell(cell: SweepCell) -> ScenarioResult:
         poa_ratio=poa,
         stream_mean_latency=stream_mean,
         stream_completed=stream_done,
-        optimal_s=opt.wall_time_s,
+        optimal_s=opt_wall,
         mine_s=mine_s,
         poa_s=poa_s,
         stream_s=stream_s,
@@ -500,7 +504,8 @@ class ScenarioRunner:
         """Execute every grid cell and return the collected report.
 
         ``backend`` selects the execution backend (``"serial"``,
-        ``"process"``, ``"chunked"`` — see :mod:`repro.engine.backends`);
+        ``"threads"``, ``"process"``, ``"chunked"`` — see
+        :mod:`repro.engine.backends`);
         parallel runs are bitwise-identical to serial ones.  ``store``
         (a JSONL path or :class:`~repro.engine.JsonlStore`) persists each
         row as it completes and skips already-stored cells on re-runs.

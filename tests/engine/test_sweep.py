@@ -26,11 +26,11 @@ def _square_slow_zero(x):
 
 class TestBackends:
     def test_backend_names(self):
-        assert BACKENDS == ("serial", "process", "chunked")
+        assert BACKENDS == ("serial", "threads", "process", "chunked")
 
     def test_unknown_backend(self):
         with pytest.raises(ValueError, match="unknown backend"):
-            list(run_cells(_square, [1, 2], backend="threads"))
+            list(run_cells(_square, [1, 2], backend="fibers"))
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_results_in_cell_order(self, backend):

@@ -112,3 +112,46 @@ class TestMinEIntegration:
             for _ in range(5):  # ~log2(12)+1 rounds of gossip per sweep
                 gossip.round()
         assert state.total_cost() <= ref * 1.02
+
+
+class TestViewMetadata:
+    """Per-entry version/age metadata (consumed by livesim staleness
+    metrics)."""
+
+    def test_view_versions_track_publishes(self):
+        g = GossipNetwork(4, rng=0)
+        assert np.all(g.view_versions(0) == -1)  # nothing published yet
+        g.publish(2, 10.0)
+        assert g.view_versions(2)[2] == g.clock
+        assert g.view_versions(0)[2] == -1  # not yet disseminated
+        g.rounds_to_convergence()
+        assert g.view_versions(0)[2] == g.view_versions(2)[2]
+
+    def test_ages_grow_between_publishes(self):
+        g = GossipNetwork(5, rng=0)
+        g.publish_all(np.arange(5.0))
+        g.rounds_to_convergence()
+        ages_before = g.view_ages(0).copy()
+        # Other nodes keep publishing; node 0's un-refreshed entries age.
+        g.publish(3, 99.0)
+        g.publish(4, 77.0)
+        ages_after = g.view_ages(0)
+        assert np.all(ages_after >= ages_before)
+        assert ages_after[1] > ages_before[1]  # grew by the new publishes
+        # The most recent publisher's own entry is fresh again.
+        assert g.view_ages(4)[4] == 0.0
+        assert g.view_ages(3)[3] == 1.0  # one publish happened since
+
+    def test_never_heard_entries_have_infinite_age(self):
+        g = GossipNetwork(3, rng=0)
+        g.publish(0, 1.0)
+        ages = g.view_ages(1)
+        assert np.isinf(ages[0])  # published but not yet heard by node 1
+        assert np.isinf(ages[2])  # never published at all
+
+    def test_dissemination_resets_age(self):
+        g = GossipNetwork(4, rng=0)
+        g.publish_all(np.ones(4))
+        g.rounds_to_convergence()
+        assert np.all(np.isfinite(g.view_ages(0)))
+        assert np.all(g.view_ages(0) <= g.clock)

@@ -1,0 +1,72 @@
+"""Determinism: the live simulation is a pure function of (instance,
+config, seed).
+
+Two runs with the same seed must produce the *identical* event trace
+(every proposal, accept, exchange, timeout, failure and rejoin, with
+exact times and improvements) and bit-identical final allocations; and
+enabling churn at rate zero must change nothing at all versus churn
+disabled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.livesim import LiveConfig, LiveSimulation, get_live_preset
+from repro.workloads import cached_instance, get_scenario
+
+
+def _run(inst, config, seed, rounds=60):
+    sim = LiveSimulation(inst, config=config, seed=seed)
+    report = sim.run(rounds=rounds)
+    return sim, report
+
+
+class TestSameSeedIdentical:
+    def test_event_trace_and_allocation_identical(self):
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        cfg = get_live_preset("churn")  # the most stochastic preset
+        sim_a, rep_a = _run(inst, cfg, seed=11)
+        sim_b, rep_b = _run(inst, cfg, seed=11)
+        assert rep_a.trace == rep_b.trace
+        assert rep_a.trace, "trace should not be empty"
+        np.testing.assert_array_equal(sim_a.state.R, sim_b.state.R)
+        np.testing.assert_array_equal(rep_a.times, rep_b.times)
+        np.testing.assert_array_equal(rep_a.costs, rep_b.costs)
+        assert rep_a.failures == rep_b.failures
+        assert rep_a.net.sent == rep_b.net.sent
+        assert rep_a.agents == rep_b.agents
+        assert rep_a.gossip == rep_b.gossip
+
+    def test_different_seeds_differ(self):
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        cfg = get_live_preset("ideal")
+        _, rep_a = _run(inst, cfg, seed=0)
+        _, rep_b = _run(inst, cfg, seed=1)
+        assert rep_a.trace != rep_b.trace
+
+    def test_extending_a_run_matches_one_long_run(self):
+        """run(rounds=30) twice equals run(rounds=60): the clock and all
+        RNG streams continue rather than reset."""
+        inst = cached_instance(get_scenario("paper-homogeneous"), 10, 0)
+        cfg = get_live_preset("lossy")
+        sim_long = LiveSimulation(inst, config=cfg, seed=4)
+        rep_long = sim_long.run(rounds=60)
+        sim_split = LiveSimulation(inst, config=cfg, seed=4)
+        sim_split.run(rounds=30)
+        rep_split = sim_split.run(rounds=30)
+        assert rep_long.trace == rep_split.trace
+        np.testing.assert_array_equal(sim_long.state.R, sim_split.state.R)
+
+
+class TestChurnRateZeroIsChurnOff:
+    def test_traces_identical(self):
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        base = get_live_preset("ideal")
+        zero_churn = LiveConfig(p_drop=base.p_drop, churn_rate=0.0)
+        sim_off, rep_off = _run(inst, base, seed=9)
+        sim_zero, rep_zero = _run(inst, zero_churn, seed=9)
+        assert rep_off.trace == rep_zero.trace
+        np.testing.assert_array_equal(sim_off.state.R, sim_zero.state.R)
+        np.testing.assert_array_equal(rep_off.costs, rep_zero.costs)
+        assert rep_zero.failures == []

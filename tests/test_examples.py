@@ -30,6 +30,7 @@ def _small_examples(monkeypatch, capsys):
         "scenario_sweep.py",
         "custom_scenario.py",
         "solver_shootout.py",
+        "live_rebalancing.py",
     ],
 )
 def test_example_runs(script, capsys):

@@ -218,7 +218,7 @@ class TestParallelBackends:
 
     def test_unknown_backend_rejected(self, grid_runner):
         with pytest.raises(ValueError, match="unknown backend"):
-            grid_runner.run(backend="threads")
+            grid_runner.run(backend="fibers")
 
 
 class TestStoreResume:
