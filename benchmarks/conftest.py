@@ -19,3 +19,15 @@ def full_run() -> bool:
 @pytest.fixture(scope="session")
 def is_full_run() -> bool:
     return full_run()
+
+
+def merge_bench(path, section: str, payload: dict) -> None:
+    """Insert/replace one section of a ``BENCH_*.json`` file, keeping the
+    others (shared by the bench modules so the file format cannot drift)."""
+    import json
+
+    data = {}
+    if path.exists():
+        data = json.loads(path.read_text())
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,157 @@
+"""Event-engine micro-benchmarks — ``BENCH_events.json``.
+
+Measures the two axes the ISSUE-4 fast-path work optimizes:
+
+* **Scheduler**: events/s of the heap versus the slotted calendar queue
+  at several pending-set sizes (the auto mode promotes at
+  :data:`repro.sim.events.CALENDAR_THRESHOLD`, the measured crossover);
+* **API**: events/s of generator ``Process`` ticks versus the
+  ``call_at`` callback fast path — the same workload, so the ratio is
+  the per-event cost of the generator machinery.
+
+Both sections assert the structural properties (identical event
+traces; callbacks meaningfully faster than processes) and record the
+raw numbers, plus a machine-speed calibration constant, into
+``benchmarks/BENCH_events.json``.  ``benchmarks/check_perf.py`` diffs
+that file (and ``BENCH_livesim.json``) against the committed baseline
+and fails CI on a >30 % events/s regression, using the calibration to
+normalize runner speed.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from repro.sim.events import CALENDAR_THRESHOLD, Environment
+
+from .conftest import merge_bench
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_events.json"
+
+SCHED_EVENTS = 200_000
+API_EVENTS = 150_000
+
+
+def _merge_bench(section: str, payload: dict) -> None:
+    merge_bench(BENCH_PATH, section, payload)
+
+
+def calibrate_ops_per_sec(n: int = 2_000_000) -> float:
+    """Machine-speed constant: plain-python loop iterations per second.
+    Recorded next to every events/s figure so the regression check can
+    compare runs from differently-provisioned machines."""
+    t0 = time.perf_counter()
+    x = 0
+    for i in range(n):
+        x += i
+    return n / (time.perf_counter() - t0)
+
+
+def _drive_scheduler(scheduler: str, n_pending: int, total: int):
+    """Self-rescheduling callback storm with a deterministic
+    pseudo-random delay pattern; returns (events/s, processed, now).
+    Best wall of two identical runs (least-interference measurement)."""
+    best = None
+    for _ in range(2):
+        env = Environment(scheduler=scheduler)
+        count = [0]
+
+        def tick(i):
+            count[0] += 1
+            if count[0] + n_pending <= total:
+                env.call_in(1.0 + ((i * 2654435761) & 1023) / 1024.0, tick, i)
+
+        for i in range(n_pending):
+            env.call_at(1.0 + i / n_pending, tick, i)
+        t0 = time.perf_counter()
+        env.run()
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[0]:
+            best = (wall, env.processed, env.now)
+    return total / best[0], best[1], best[2]
+
+
+def test_scheduler_heap_vs_calendar():
+    rows = {}
+    for n_pending in (512, 8192, 65536):
+        heap = _drive_scheduler("heap", n_pending, SCHED_EVENTS)
+        cal = _drive_scheduler("calendar", n_pending, SCHED_EVENTS)
+        # Identical trace end state: same event count, same final clock.
+        assert heap[1:] == cal[1:]
+        rows[str(n_pending)] = {
+            "heap_events_per_sec": heap[0],
+            "calendar_events_per_sec": cal[0],
+            "calendar_over_heap": cal[0] / heap[0],
+        }
+        print(
+            f"  pending={n_pending:6d}: heap {heap[0]:9.0f} ev/s  "
+            f"calendar {cal[0]:9.0f} ev/s  ratio {cal[0] / heap[0]:.2f}"
+        )
+        # The calendar queue must stay in the heap's ballpark everywhere
+        # (it wins past the promotion threshold, where heap depth bites).
+        assert cal[0] > 0.4 * heap[0]
+    _merge_bench(
+        "scheduler",
+        {
+            "events": SCHED_EVENTS,
+            "auto_threshold": CALENDAR_THRESHOLD,
+            "by_pending": rows,
+            "calibration_ops_per_sec": calibrate_ops_per_sec(),
+        },
+    )
+
+
+def _drive_process_api(total: int) -> float:
+    env = Environment(scheduler="heap")
+    count = [0]
+
+    def ticker(i):
+        while count[0] < total:
+            count[0] += 1
+            yield env.timeout(1.0 + (i % 7) * 0.1)
+
+    for i in range(100):
+        env.process(ticker(i))
+    t0 = time.perf_counter()
+    env.run()
+    return env.processed / (time.perf_counter() - t0)
+
+
+def _drive_callback_api(total: int) -> float:
+    env = Environment(scheduler="heap")
+    count = [0]
+
+    def tick(i):
+        count[0] += 1
+        if count[0] < total:
+            env.call_in(1.0 + (i % 7) * 0.1, tick, i)
+
+    for i in range(100):
+        env.call_at(0.0, tick, i)
+    t0 = time.perf_counter()
+    env.run()
+    return env.processed / (time.perf_counter() - t0)
+
+
+def test_process_vs_callback_api():
+    proc = max(_drive_process_api(API_EVENTS) for _ in range(2))
+    cb = max(_drive_callback_api(API_EVENTS) for _ in range(2))
+    speedup = cb / proc
+    print(
+        f"  process API {proc:9.0f} ev/s   callback API {cb:9.0f} ev/s   "
+        f"callback speedup {speedup:.2f}x"
+    )
+    # The whole point of call_at: no Timeout + Event + generator resume
+    # per step.  Keep the bound loose enough for noisy CI runners.
+    assert speedup > 1.3
+    _merge_bench(
+        "api",
+        {
+            "events": API_EVENTS,
+            "process_events_per_sec": proc,
+            "callback_events_per_sec": cb,
+            "callback_speedup": speedup,
+            "calibration_ops_per_sec": calibrate_ops_per_sec(),
+        },
+    )

@@ -1,26 +1,32 @@
 """Livesim acceptance + throughput bench — ``BENCH_livesim.json``.
 
-Two benches cover the subsystem's acceptance criteria:
+Three benches cover the subsystem's acceptance criteria:
 
 * :func:`test_livesim_all_presets_converge` — on every registered
   scenario preset, the *asynchronous* control plane (zero churn, zero
   message loss) converges to a total cost within the paper's 2 % error
   bound of the offline optimum, entirely through RTT-delayed gossip and
-  propose/accept handshakes.
+  propose/accept handshakes.  Each preset row also records
+  ``speedup_vs_pr3`` — its events/s over the PR-3 control plane's
+  (generator processes, unbatched gossip, fixed agent intervals, heap
+  drain), whose measurements are frozen below.
 * :func:`test_livesim_churn_reconverges` — under the ``churn`` preset
   (≥5 % of servers restarting, plus message loss) the plane re-converges
   to within the bound after every failure event.
+* :func:`test_livesim_m2000_scale` — the fast-path acceptance case: a
+  production-sized fleet (m = 2000, ``lossy`` preset, screened partner
+  proposals) converging to the same 2 % bound inside the CI budget.
 
-Both write their measurements — events/sec throughput, time-to-within-
+All write their measurements — events/sec throughput, time-to-within-
 bound per preset (in sim time and agent rounds) and cost-vs-time curves
 — into ``benchmarks/BENCH_livesim.json`` so the perf trajectory is
-tracked PR-over-PR.  ``REPRO_FULL=1`` runs each scenario at its native
-production size.
+tracked PR-over-PR (``benchmarks/check_perf.py`` gates regressions).
+``REPRO_FULL=1`` runs each scenario at its native production size.
 """
 
 from __future__ import annotations
 
-import json
+import dataclasses
 import pathlib
 
 import numpy as np
@@ -28,11 +34,33 @@ import numpy as np
 from repro.livesim import LiveSimulation, get_live_preset
 from repro.workloads import PRESETS, cached_instance, cached_optimum
 
-from .conftest import full_run
+from .conftest import full_run, merge_bench
 
 REL_TOL = 0.02  # the paper's Table I convergence bound
 ROUNDS = 120 if full_run() else 80
 CHURN_ROUNDS = 240 if full_run() else 160
+
+#: m = 2000 scale case: round budget and the screened candidate count
+#: (width 8 converges a hair slower in rounds but much faster in wall
+#: time than the default 16 at this size).
+M2000_ROUNDS_MAX = 90
+M2000_SCREEN_WIDTH = 8
+
+#: events/s of the PR-3 control plane on the same m=16/80-round preset
+#: grid, frozen here so the recorded speedup survives the BENCH file
+#: being overwritten with fresh numbers.  Measured as a same-machine,
+#: same-session A/B: the PR-3 code checked out into a worktree and run
+#: with the identical best-of-3 loop minutes before the PR-4 numbers
+#: were recorded, so machine-speed drift cancels out of the ratio.
+PR3_EVENTS_PER_SEC = {
+    "paper-homogeneous": 31830.0,
+    "paper-planetlab": 32877.0,
+    "cdn-flashcrowd": 30618.0,
+    "federation-diurnal": 30963.0,
+    "datacenter-fattree": 32509.0,
+    "hub-heavytail": 25348.0,
+    "regional-surge": 32440.0,
+}
 
 BENCH_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_livesim.json"
 
@@ -42,11 +70,7 @@ def _size(sc) -> int:
 
 
 def _merge_bench(section: str, payload: dict) -> None:
-    data = {}
-    if BENCH_PATH.exists():
-        data = json.loads(BENCH_PATH.read_text())
-    data[section] = payload
-    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    merge_bench(BENCH_PATH, section, payload)
 
 
 def _curve(report, stride: int = 4) -> list[list[float]]:
@@ -55,16 +79,32 @@ def _curve(report, stride: int = 4) -> list[list[float]]:
     return [list(p) for p in pts[::stride]] + [list(pts[-1])]
 
 
+def _best_of(n: int, make_sim, rounds: int):
+    """Run the same deterministic simulation ``n`` times and return the
+    (sim, report) of the fastest run: the trace is identical every time,
+    so the minimum wall clock is the least-interference measurement."""
+    best = None
+    for _ in range(n):
+        sim = make_sim()
+        report = sim.run(rounds=rounds)
+        if best is None or report.wall_s < best[1].wall_s:
+            best = (sim, report)
+    return best
+
+
 def test_livesim_all_presets_converge():
     rows = {}
     for sc in PRESETS:
         m = _size(sc)
         inst = cached_instance(sc, m, 0)
         opt_state, opt_cost, _, _ = cached_optimum(sc, m, 0)
-        sim = LiveSimulation(
-            inst, config=get_live_preset("ideal"), seed=0, optimum=opt_state
+        sim, report = _best_of(
+            3,
+            lambda: LiveSimulation(
+                inst, config=get_live_preset("ideal"), seed=0, optimum=opt_state
+            ),
+            ROUNDS,
         )
-        report = sim.run(rounds=ROUNDS)
         interval = sim.config.agent_interval
         ttw = report.time_to_within(REL_TOL)
 
@@ -74,6 +114,7 @@ def test_livesim_all_presets_converge():
         )
         assert np.isfinite(ttw)
 
+        pr3 = PR3_EVENTS_PER_SEC.get(sc.name) if m == 16 else None
         rows[sc.name] = {
             "m": m,
             "optimal_cost": opt_cost,
@@ -82,9 +123,13 @@ def test_livesim_all_presets_converge():
             "rounds_to_bound": ttw / interval,
             "exchanges": report.agents.exchanges,
             "proposals": report.agents.proposals,
+            "skipped_proposals": report.agents.skipped_proposals,
             "messages": report.net.sent,
             "events_processed": report.events_processed,
             "events_per_sec": report.events_per_sec,
+            "speedup_vs_pr3": (
+                report.events_per_sec / pr3 if pr3 is not None else None
+            ),
             "mean_view_age_rounds": report.mean_view_age / interval,
             "cost_curve": _curve(report),
         }
@@ -92,6 +137,7 @@ def test_livesim_all_presets_converge():
             f"  {sc.name:<22} m={m:<3d} err={report.final_error:9.2e} "
             f"t_bound={ttw / interval:6.1f} rounds "
             f"ev/s={report.events_per_sec:9.0f}"
+            + (f" ({report.events_per_sec / pr3:.1f}x PR-3)" if pr3 else "")
         )
 
     _merge_bench(
@@ -105,10 +151,13 @@ def test_livesim_churn_reconverges():
     m = _size(sc)
     inst = cached_instance(sc, m, 0)
     opt_state, _, _, _ = cached_optimum(sc, m, 0)
-    sim = LiveSimulation(
-        inst, config=get_live_preset("churn"), seed=3, optimum=opt_state
+    sim, report = _best_of(
+        2,
+        lambda: LiveSimulation(
+            inst, config=get_live_preset("churn"), seed=3, optimum=opt_state
+        ),
+        CHURN_ROUNDS,
     )
-    report = sim.run(rounds=CHURN_ROUNDS)
     interval = sim.config.agent_interval
 
     # Real churn happened: at least 5 % of the fleet restarted.
@@ -146,4 +195,76 @@ def test_livesim_churn_reconverges():
         f"  churn: {len(report.failures)} restarts "
         f"({len(report.failures) / m:.0%} of fleet), mean reconvergence "
         f"{np.mean(lags):.1f} rounds, final err {report.final_error:.2e}"
+    )
+
+
+def test_livesim_m2000_scale():
+    """The ISSUE-4 scale acceptance case: a production-sized fleet on the
+    lossy preset converges to the paper's 2 % bound in CI time.
+
+    m = 2000 exercises every fast-path layer at once: the screened O(m)
+    partner proposals (exact evaluation would cost seconds per
+    proposal), the packed-ndarray gossip tables, the transposed-R
+    transfer kernel, adaptive back-off, and the scheduler auto-promotion
+    machinery.
+    """
+    sc = next(s for s in PRESETS if s.name == "regional-surge")
+    m = 2000
+    inst = cached_instance(sc, m, 0)
+    opt_state, opt_cost, solve_wall, _ = cached_optimum(sc, m, 0)
+    cfg = dataclasses.replace(
+        get_live_preset("lossy"), agent_screen_width=M2000_SCREEN_WIDTH
+    )
+    sim = LiveSimulation(inst, config=cfg, seed=0, optimum=opt_state)
+    # Chunked run with early exit: identical to one long run (the
+    # determinism suite asserts split == long), but CI stops paying the
+    # moment the bound is reached.
+    report = sim.run(rounds=30)
+    while report.final_error > REL_TOL and report.horizon < (
+        M2000_ROUNDS_MAX * sim.config.agent_interval
+    ):
+        report = sim.run(rounds=10)
+    interval = sim.config.agent_interval
+    ttw = report.time_to_within(REL_TOL)
+
+    assert report.net.dropped > 0  # the lossy preset really dropped messages
+    assert report.final_error <= REL_TOL, (
+        f"m=2000 lossy run ended {report.final_error:.3%} above the "
+        f"offline optimum (bound {REL_TOL:.0%}) after "
+        f"{report.horizon / interval:.0f} rounds"
+    )
+    assert np.isfinite(ttw)
+
+    _merge_bench(
+        "m2000",
+        {
+            "scenario": sc.name,
+            "m": m,
+            "preset": "lossy",
+            "rel_tol": REL_TOL,
+            "screen_width": M2000_SCREEN_WIDTH,
+            "optimal_cost": opt_cost,
+            "optimum_solve_wall_s": solve_wall,
+            "final_error": report.final_error,
+            "rounds_to_bound": ttw / interval,
+            "rounds_run": report.horizon / interval,
+            "exchanges": report.agents.exchanges,
+            "proposals": report.agents.proposals,
+            "skipped_proposals": report.agents.skipped_proposals,
+            "messages": report.net.sent,
+            "dropped": report.net.dropped,
+            "events_processed": report.events_processed,
+            "events_per_sec": report.events_per_sec,
+            "sim_wall_s": report.wall_s,
+            "scheduler_in_use": sim.env.scheduler_in_use,
+            "mean_view_age_rounds": report.mean_view_age / interval,
+            "cost_curve": _curve(report, stride=16),
+        },
+    )
+    print(
+        f"  m=2000 {sc.name} lossy: err={report.final_error:.2e} at "
+        f"{report.horizon / interval:.0f} rounds "
+        f"(bound hit at {ttw / interval:.0f}), "
+        f"{report.events_processed} events in {report.wall_s:.0f}s "
+        f"({report.events_per_sec:.0f} ev/s)"
     )

@@ -30,15 +30,49 @@ DEFAULT_OUT = str(REPO_ROOT / "results" / "experiments.json")
 
 
 def build_parser(description: str) -> argparse.ArgumentParser:
-    """The common CLI: execution backend, worker count, output path."""
+    """The common CLI: execution backend, worker count, output path,
+    store/shard selection and the on-disk optimum cache."""
     parser = argparse.ArgumentParser(description=description)
     parser.add_argument("--backend", default="serial",
                         choices=("serial", "threads", "process", "chunked"))
     parser.add_argument("--workers", type=int, default=None)
     parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="JSONL result store: finished cells are appended as they "
+             "complete and skipped on re-runs (resumable grids)")
+    parser.add_argument(
+        "--shard", default=None, metavar="K/N",
+        help="run only every N-th pending cell starting at the K-th "
+             "(1-based).  Each shard should write its own --store; merge "
+             "them with JsonlStore.merge(shard1, shard2, ..., out=...) "
+             "and re-run without --shard to aggregate")
     return parser
 
 
 def exec_kwargs(args: argparse.Namespace) -> dict:
-    """The engine-execution keywords every grid function accepts."""
-    return dict(backend=args.backend, max_workers=args.workers)
+    """The engine-execution keywords every grid function accepts.
+
+    (Cross-process reuse for these grids comes from ``--store``: each
+    finished cell is persisted whole.  The on-disk *optimum* cache —
+    ``REPRO_CACHE_DIR`` / ``repro.workloads.set_cache_dir`` — applies to
+    scenario-based cells, which solve through ``cached_optimum``.)"""
+    if args.shard is not None and args.store is None:
+        print("note: --shard without --store computes the shard's cells "
+              "but persists nothing for the coordinator to merge")
+    kw = dict(backend=args.backend, max_workers=args.workers)
+    if args.store is not None:
+        kw["store"] = args.store
+    if args.shard is not None:
+        kw["shard"] = args.shard
+    return kw
+
+
+def is_primary_shard(args: argparse.Namespace) -> bool:
+    """True when this invocation should run the unsharded extras (e.g.
+    Table IV, which is too cheap to split): shard 1 or no shard."""
+    if args.shard is None:
+        return True
+    from repro.engine.sweep import parse_shard
+
+    return parse_shard(args.shard)[0] == 1

@@ -9,6 +9,11 @@ Usage::
 
     python results/rerun_conv.py [--backend process] [--workers N]
                                  [--out results/experiments.json]
+                                 [--store results/cells.jsonl]
+                                 [--shard k/N]
+
+``--shard k/N`` computes only this shard's cells (see
+``run_experiments.py`` for the shard/merge workflow).
 """
 
 import json

@@ -47,9 +47,18 @@ __all__ = [
     "ConvergenceTrace",
     "batch_exchange_stats",
     "best_partner_exact",
+    "best_partner_screened",
     "propose_partner",
     "apply_pair_exchange",
+    "EXACT_BUDGET",
 ]
+
+#: ``strategy="auto"`` evaluates partners exactly while ``h · m`` (owner
+#: count times fleet size) stays below this, and switches to the O(m)
+#: screening pass beyond it — shared by :class:`MinEOptimizer` and
+#: :func:`propose_partner` so the lock-step and event-driven planes make
+#: the same choice.
+EXACT_BUDGET = 400_000
 
 
 @dataclass
@@ -104,6 +113,7 @@ def batch_exchange_stats(
     compute_moved: bool = True,
     rt_full: np.ndarray | None = None,
     ct_full: np.ndarray | None = None,
+    static_cache: dict[int, tuple] | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Evaluate Algorithm 1 for server ``i`` against *every* candidate
     partner simultaneously (batched closed form).
@@ -115,9 +125,13 @@ def batch_exchange_stats(
 
     ``order_cache`` may hold the per-server argsort of the latency
     difference matrix — it depends only on the static latencies, so
-    :class:`MinEOptimizer` reuses it across sweeps.  ``compute_moved=False``
-    skips the transfer-volume output (partner selection only needs
-    ``impr``).
+    :class:`MinEOptimizer` reuses it across sweeps.  ``static_cache``
+    goes further and also holds the sliced latency matrix, the latency
+    difference row in sorted order and the per-server latency column —
+    every input that does not depend on ``R`` or ``loads`` — which
+    roughly halves the per-call numpy work for repeated proposals (the
+    event-driven agents' hot path).  ``compute_moved=False`` skips the
+    transfer-volume output (partner selection only needs ``impr``).
     """
     s = inst.speeds
     c = inst.latency
@@ -135,44 +149,65 @@ def batch_exchange_stats(
         ct_full = c.T
     if full:
         Ri = np.ascontiguousarray(rt_full[i])
-        c_owners_i = np.ascontiguousarray(ct_full[i])
         Rt = rt_full
-        Ct = ct_full
     else:
         Ri = np.ascontiguousarray(rt_full[i, owners])
-        c_owners_i = np.ascontiguousarray(ct_full[i, owners])
         Rt = np.ascontiguousarray(rt_full[:, owners])
-        Ct = np.ascontiguousarray(ct_full[:, owners])
-    Pool = Rt + Ri[None, :]  # pooled requests per candidate row (m, h)
-    if inst.has_inf_latency:
-        with np.errstate(invalid="ignore"):
-            D = Ct - c_owners_i[None, :]  # d_k per candidate row
-        # inf − inf → owner reaches neither server; it holds nothing at
-        # either, so any immovable (+inf) difference is correct.
-        D[np.isnan(D)] = np.inf
-    else:
-        D = Ct - c_owners_i[None, :]  # d_k per candidate row
 
-    L = l[i] + l  # pooled load per candidate j
-    A = s * L / (s_i + s)
-    B = s_i * s / (s_i + s)
-
-    if order_cache is not None and i in order_cache:
-        order = order_cache[i]
-    else:
-        order = np.argsort(D, axis=1)
-        if order_cache is not None:
-            order = order.astype(np.int32, copy=False)
-            order_cache[i] = order
     h = owners.shape[0]
-    rows_idx = np.arange(m)[:, None]
-    d_s = D[rows_idx, order]
+    # Server-independent statics (the sliced latency matrix and the two
+    # index grids) are shared under key -1 — only the per-server pieces
+    # (latency row, its sort, B·d_s) multiply by m.
+    shared = static_cache.get(-1) if static_cache is not None else None
+    if shared is not None:
+        Ct, rows_idx, cols_idx = shared
+    else:
+        rows_idx = np.arange(m)[:, None]
+        cols_idx = np.arange(h)[None, :]
+        Ct = ct_full if full else np.ascontiguousarray(ct_full[:, owners])
+        if static_cache is not None:
+            static_cache[-1] = (Ct, rows_idx, cols_idx)
+    cached = static_cache.get(i) if static_cache is not None else None
+    if cached is not None:
+        c_owners_i, order, d_s, A_ratio, B, Bd = cached
+    else:
+        if full:
+            c_owners_i = np.ascontiguousarray(ct_full[i])
+        else:
+            c_owners_i = np.ascontiguousarray(ct_full[i, owners])
+        if inst.has_inf_latency:
+            with np.errstate(invalid="ignore"):
+                D = Ct - c_owners_i[None, :]  # d_k per candidate row
+            # inf − inf → owner reaches neither server; it holds nothing at
+            # either, so any immovable (+inf) difference is correct.
+            D[np.isnan(D)] = np.inf
+        else:
+            D = Ct - c_owners_i[None, :]  # d_k per candidate row
+        if order_cache is not None and i in order_cache:
+            order = order_cache[i]
+        else:
+            order = np.argsort(D, axis=1)
+            if order_cache is not None:
+                order = order.astype(np.int32, copy=False)
+                order_cache[i] = order
+        d_s = D[rows_idx, order]
+        # Load-independent precomputes of the closed form: A = A_ratio·L,
+        # B·d_s, and the per-column rank grid for the transfer cut-off.
+        A_ratio = s / (s_i + s)
+        B = s_i * s / (s_i + s)
+        Bd = B[:, None] * d_s
+        if static_cache is not None:
+            static_cache[i] = (c_owners_i, order, d_s, A_ratio, B, Bd)
+
+    Pool = Rt + Ri[None, :]  # pooled requests per candidate row (m, h)
+    L = l[i] + l  # pooled load per candidate j
+    A = A_ratio * L
     r_s = Pool[rows_idx, order]
     prefix = np.cumsum(r_s, axis=1)
-    key = prefix + B[:, None] * d_s
+    key = prefix + Bd
     K = (key <= A[:, None]).sum(axis=1)  # fully-moved orgs per candidate
 
-    t = np.where(np.arange(h)[None, :] < K[:, None], r_s, 0.0)
+    t = np.where(cols_idx < K[:, None], r_s, 0.0)
     rows = np.flatnonzero(K < h)
     if rows.size:
         kp = K[rows]
@@ -225,15 +260,63 @@ def best_partner_exact(
     order_cache: dict[int, np.ndarray] | None = None,
     rt_full: np.ndarray | None = None,
     ct_full: np.ndarray | None = None,
+    static_cache: dict[int, tuple] | None = None,
 ) -> tuple[int, float]:
     """Return ``(argmax_j impr(i, j), max impr)`` — Algorithm 2's partner
     choice, evaluated exactly for all candidates at once."""
     impr, _ = batch_exchange_stats(
         inst, R, i, owners, loads, order_cache=order_cache,
         compute_moved=False, rt_full=rt_full, ct_full=ct_full,
+        static_cache=static_cache,
     )
     j = int(np.argmax(impr))
     return j, float(impr[j])
+
+
+def static_caches_enabled(m: int, h: int) -> bool:
+    """Whether the per-server static caches (argsort plus sorted latency
+    differences and derived matrices) fit the shared memory budget."""
+    # Per (server, candidate, owner) entry the per-server cache tuple
+    # holds the int32 order (4 B) and float64 d_s and Bd (8 B each); the
+    # sliced latency matrix is shared across servers.  (An optimizer and
+    # an agent set each hold their own caches.)
+    return m * m * h * 20 <= 256 * 1024 * 1024
+
+
+def best_partner_screened(
+    inst: Instance,
+    R: np.ndarray,
+    i: int,
+    loads: np.ndarray,
+    *,
+    screen_width: int = 16,
+    rt_full: np.ndarray | None = None,
+) -> tuple[int, float]:
+    """Partner choice via the O(m) screening pass: a cheap
+    load-imbalance score pre-selects ``screen_width`` candidates (plus
+    the lowest-latency peers, which cover communication-driven
+    exchanges), and only those get the exact Algorithm 1 evaluation.
+
+    Stale ``loads`` enter the *scoring* only; the improvement returned
+    is the exact improvement of the chosen candidate on the true ``R``.
+    """
+    scores = _screen_scores(inst, loads, i)
+    width = min(screen_width, inst.m - 1)
+    by_score = np.argpartition(scores, -width)[-width:]
+    # Load-imbalance scores miss communication-driven exchanges (the
+    # convergence tail re-homes requests between near-balanced
+    # servers); the lowest-latency peers cover that case cheaply.
+    near = min(max(width // 2, 2), inst.m - 1)
+    by_latency = np.argpartition(inst.latency[i], near)[:near]
+    cand = np.unique(np.concatenate([by_score, by_latency]))
+    cand = cand[cand != i]
+    cand = cand[np.isfinite(scores[cand])]
+    best_j, best_impr = -1, -np.inf
+    for j in cand:
+        ex = calc_best_transfer(inst, R, i, int(j), rt_full=rt_full)
+        if ex.improvement > best_impr:
+            best_j, best_impr = int(j), ex.improvement
+    return best_j, best_impr
 
 
 def propose_partner(
@@ -243,6 +326,12 @@ def propose_partner(
     loads: np.ndarray | None = None,
     *,
     owners: np.ndarray | None = None,
+    strategy: Literal["exact", "screened", "auto"] = "auto",
+    screen_width: int = 16,
+    order_cache: dict[int, np.ndarray] | None = None,
+    rt_full: np.ndarray | None = None,
+    ct_full: np.ndarray | None = None,
+    static_cache: dict[int, tuple] | None = None,
 ) -> tuple[int, float]:
     """Server ``i``'s partner proposal against a (possibly stale) load view.
 
@@ -250,13 +339,33 @@ def propose_partner(
     callers that drive servers individually — most notably the
     event-driven agents of :mod:`repro.livesim`, where each server acts
     on whatever load vector its gossip table currently holds.  Returns
-    ``(partner, expected_improvement)``; the expected improvement is
-    computed from ``loads`` and may differ from the true improvement when
-    the view is stale.
+    ``(partner, expected_improvement)``.
+
+    ``strategy`` mirrors :class:`MinEOptimizer`: ``"exact"`` evaluates
+    every candidate with the batched closed form (the expected
+    improvement then reflects the stale view), ``"screened"`` runs the
+    O(m) pre-selection of :func:`best_partner_screened` (required at
+    fleet scale, where the exact batch is O(h·m log m) per proposal),
+    and ``"auto"`` picks by the :data:`EXACT_BUDGET` size threshold.
+    ``order_cache`` / ``rt_full`` / ``ct_full`` are the optional static
+    caches of :func:`batch_exchange_stats` for repeated exact calls.
     """
+    if strategy not in ("exact", "screened", "auto"):
+        raise ValueError(f"unknown strategy {strategy!r}")
     if owners is None:
         owners = np.flatnonzero(inst.loads > 0)
-    return best_partner_exact(inst, R, i, owners, loads)
+    if strategy == "auto":
+        strategy = (
+            "exact" if max(1, owners.size) * inst.m <= EXACT_BUDGET else "screened"
+        )
+    if strategy == "screened":
+        view = loads if loads is not None else R.sum(axis=0)
+        return best_partner_screened(
+            inst, R, i, view, screen_width=screen_width, rt_full=rt_full
+        )
+    return best_partner_exact(
+        inst, R, i, owners, loads, order_cache, rt_full, ct_full, static_cache
+    )
 
 
 def apply_pair_exchange(
@@ -359,14 +468,15 @@ class MinEOptimizer:
         self.owners = np.flatnonzero(state.inst.loads > 0)
         self._iteration = 0
         self._snapshot_loads: np.ndarray | None = None
-        # The argsort of the latency-difference matrix per server depends
-        # only on the static latencies; cache it across sweeps when the
-        # total footprint (m × m × h int32) stays modest.
+        # The argsort of the latency-difference matrix per server (and
+        # the derived sorted difference rows) depend only on the static
+        # latencies; cache them across sweeps when the total footprint
+        # stays modest.
         m = state.inst.m
         h = max(1, self.owners.size)
-        self._order_cache: dict[int, np.ndarray] | None = (
-            {} if m * m * h * 4 <= 256 * 1024 * 1024 else None
-        )
+        caches_ok = static_caches_enabled(m, h)
+        self._order_cache: dict[int, np.ndarray] | None = {} if caches_ok else None
+        self._static_cache: dict[int, tuple] | None = {} if caches_ok else None
         # Contiguous transposes: the batch kernel reads along candidate
         # rows, so both R and the latency matrix are kept transposed.
         self._Ct = np.ascontiguousarray(state.inst.latency.T)
@@ -379,7 +489,7 @@ class MinEOptimizer:
         # Exact batch evaluation is O(h·m log m) per server and O(h·m²·log m)
         # per sweep; fall back to screening when that gets large.
         h = max(1, self.owners.size)
-        return "exact" if h * self.state.inst.m <= 400_000 else "screened"
+        return "exact" if h * self.state.inst.m <= EXACT_BUDGET else "screened"
 
     def best_partner(self, i: int) -> tuple[int, float]:
         """Partner choice of Algorithm 2 for server ``i``."""
@@ -393,25 +503,12 @@ class MinEOptimizer:
         if self._effective_strategy() == "exact":
             return best_partner_exact(
                 inst, self.state.R, i, self.owners, loads,
-                self._order_cache, self._Rt, self._Ct,
+                self._order_cache, self._Rt, self._Ct, self._static_cache,
             )
-        scores = _screen_scores(inst, loads, i)
-        width = min(self.screen_width, inst.m - 1)
-        by_score = np.argpartition(scores, -width)[-width:]
-        # Load-imbalance scores miss communication-driven exchanges (the
-        # convergence tail re-homes requests between near-balanced
-        # servers); the lowest-latency peers cover that case cheaply.
-        near = min(max(width // 2, 2), inst.m - 1)
-        by_latency = np.argpartition(inst.latency[i], near)[:near]
-        cand = np.unique(np.concatenate([by_score, by_latency]))
-        cand = cand[cand != i]
-        cand = cand[np.isfinite(scores[cand])]
-        best_j, best_impr = -1, -np.inf
-        for j in cand:
-            ex = calc_best_transfer(inst, self.state.R, i, int(j))
-            if ex.improvement > best_impr:
-                best_j, best_impr = int(j), ex.improvement
-        return best_j, best_impr
+        return best_partner_screened(
+            inst, self.state.R, i, loads,
+            screen_width=self.screen_width, rt_full=self._Rt,
+        )
 
     def step(self, i: int) -> PairExchange | None:
         """Algorithm 2 for a single server; returns the applied exchange."""

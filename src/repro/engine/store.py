@@ -22,17 +22,46 @@ PathLike = Union[str, os.PathLike]
 class JsonlStore:
     """A ``{key: json-payload}`` mapping persisted as JSON lines."""
 
-    def __init__(self, path: PathLike):
-        self.path = os.fspath(path)
+    def __init__(self, path: "PathLike | None"):
+        self.path = os.fspath(path) if path is not None else None
         self._cache: dict[str, Any] = {}
         self._loaded = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(cls, *paths: PathLike, out: "PathLike | None" = None) -> "JsonlStore":
+        """Union of several stores — the coordinator half of sharded
+        sweeps (each shard appends to its own file; merging is plain
+        concatenation, later paths winning duplicate keys).
+
+        With ``out`` the concatenated lines are also written to that
+        path and the returned store is backed by it (appendable);
+        without, the union lives in memory only (reads work, ``append``
+        raises).  Missing input paths are skipped, so a coordinator can
+        merge an expected shard layout before every shard has started.
+        """
+        merged: dict[str, Any] = {}
+        for p in paths:
+            shard = cls(p)
+            merged.update(shard.load())
+        if out is not None:
+            store = cls(out)
+            os.makedirs(os.path.dirname(os.path.abspath(store.path)), exist_ok=True)
+            with open(store.path, "w", encoding="utf-8") as fh:
+                for key, result in merged.items():
+                    fh.write(json.dumps({"key": key, "result": result}) + "\n")
+        else:
+            store = cls(None)
+        store._cache = merged
+        store._loaded = True
+        return store
 
     # ------------------------------------------------------------------
     def load(self) -> dict[str, Any]:
         """Read the file into the in-memory view (tolerating a torn final
         line from a crashed writer) and return it."""
         self._cache = {}
-        if os.path.exists(self.path):
+        if self.path is not None and os.path.exists(self.path):
             with open(self.path, "r", encoding="utf-8") as fh:
                 for line in fh:
                     line = line.strip()
@@ -53,6 +82,11 @@ class JsonlStore:
     # ------------------------------------------------------------------
     def append(self, key: str, result: Any) -> None:
         """Persist one result now (written and flushed before returning)."""
+        if self.path is None:
+            raise ValueError(
+                "this store is an in-memory merge result; pass out= to "
+                "JsonlStore.merge to get an appendable store"
+            )
         self._ensure_loaded()
         os.makedirs(os.path.dirname(os.path.abspath(self.path)), exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as fh:

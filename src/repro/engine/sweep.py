@@ -24,10 +24,30 @@ from typing import Any, Callable, Generic, Sequence, TypeVar
 from .backends import BACKENDS, run_cells
 from .store import JsonlStore
 
-__all__ = ["SweepEngine"]
+__all__ = ["SweepEngine", "parse_shard"]
 
 C = TypeVar("C")
 R = TypeVar("R")
+
+
+def parse_shard(spec: "str | tuple[int, int] | None") -> "tuple[int, int] | None":
+    """Normalize a shard spec — ``"k/N"`` (1-based) or ``(k, N)`` — to a
+    validated ``(k, N)`` tuple (``None`` passes through)."""
+    if spec is None:
+        return None
+    if isinstance(spec, str):
+        try:
+            k_s, n_s = spec.split("/", 1)
+            k, n = int(k_s), int(n_s)
+        except ValueError:
+            raise ValueError(
+                f"shard spec must look like 'k/N' (e.g. '2/4'), got {spec!r}"
+            ) from None
+    else:
+        k, n = spec
+    if n < 1 or not 1 <= k <= n:
+        raise ValueError(f"shard index must satisfy 1 <= k <= N, got {k}/{n}")
+    return (k, n)
 
 
 class SweepEngine(Generic[C, R]):
@@ -53,6 +73,13 @@ class SweepEngine(Generic[C, R]):
     encode / decode:
         ``result -> jsonable`` and back, for the store.  Defaults to the
         identity, which suffices for dict/scalar results.
+    shard:
+        ``"k/N"`` (1-based) or ``(k, N)``: this engine executes only
+        every N-th *pending* cell starting at the k-th — the unit of the
+        sharded-sweep workflow (N machines share one grid, each writing
+        its own store; :meth:`JsonlStore.merge` stitches the results).
+        Cells already in the store are still returned; pending cells of
+        other shards come back as ``None``.
     """
 
     def __init__(
@@ -67,6 +94,7 @@ class SweepEngine(Generic[C, R]):
         key: Callable[[C], str] | None = None,
         encode: Callable[[R], Any] | None = None,
         decode: Callable[[Any], R] | None = None,
+        shard: "str | tuple[int, int] | None" = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -81,6 +109,7 @@ class SweepEngine(Generic[C, R]):
         self.key = key if key is not None else repr
         self.encode = encode if encode is not None else (lambda r: r)
         self.decode = decode if decode is not None else (lambda p: p)
+        self.shard = parse_shard(shard)
 
     # ------------------------------------------------------------------
     def pending(self) -> list[tuple[int, C]]:
@@ -108,6 +137,17 @@ class SweepEngine(Generic[C, R]):
                     done[i] = True
 
         pending = [(i, c) for i, c in enumerate(self.cells) if not done[i]]
+        if self.shard is not None:
+            # Every N-th pending cell, counted over the *pending* list so
+            # shards stay balanced as a shared store fills up.
+            k, n = self.shard
+            pending = pending[k - 1 :: n]
+            # Out-of-shard pending cells will never complete here; mark
+            # them emitted-as-None so progress streaming can pass them.
+            in_shard = {i for i, _ in pending}
+            for i in range(len(done)):
+                if not done[i] and i not in in_shard:
+                    done[i] = True
 
         # Emit the already-stored prefix (in order) before fresh work.
         emitted = 0

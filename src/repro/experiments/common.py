@@ -165,7 +165,10 @@ def streaming_announcer(cells, render):
     pending = iter(cells)
 
     def _announce(result) -> None:
-        print(render(next(pending), result), flush=True)
+        cell = next(pending)
+        if result is None:
+            return  # pending cell owned by another shard
+        print(render(cell, result), flush=True)
 
     return _announce
 

@@ -120,6 +120,8 @@ def convergence_table(
     progress: bool = False,
     backend: str = "serial",
     max_workers: int | None = None,
+    store=None,
+    shard: "str | tuple[int, int] | None" = None,
 ) -> list[TableCell]:
     """Compute Table I (``rel_tol=0.02``) or Table II (``rel_tol=0.001``).
 
@@ -127,7 +129,9 @@ def convergence_table(
     repetitions, exactly like the paper groups its rows.  ``backend``
     selects the :mod:`repro.engine` execution backend; every cell is
     deterministic in its :class:`Setting`, so parallel runs match serial
-    ones exactly.
+    ones exactly.  ``store``/``shard`` enable resumable and sharded
+    grids (see :class:`SweepEngine`); with a shard, cells owned by other
+    shards are excluded from the aggregation.
     """
     settings = list(paper_settings(
         sizes=sizes, avg_loads=avg_loads, repetitions=repetitions
@@ -137,6 +141,8 @@ def convergence_table(
         [(s, rel_tol, max_iterations) for s in settings],
         backend=backend,
         max_workers=max_workers,
+        store=store,
+        shard=shard,
     )
     announce = streaming_announcer(
         settings,
@@ -145,6 +151,8 @@ def convergence_table(
     results = engine.run(progress=announce if progress else None)
     buckets: dict[tuple[str, str], list[int]] = {}
     for setting, iters in zip(settings, results):
+        if iters is None:
+            continue  # pending cell owned by another shard
         key = (_size_group(setting.m), setting.load_kind)
         buckets.setdefault(key, []).append(iters)
     cells = []
@@ -184,6 +192,8 @@ def figure2_traces(
     snapshot: bool = True,
     backend: str = "serial",
     max_workers: int | None = None,
+    store=None,
+    shard: "str | tuple[int, int] | None" = None,
 ) -> dict[int, list[float]]:
     """Figure 2: ``ΣCi`` per iteration for the peak distribution on large
     heterogeneous (PlanetLab-like) networks, no negative-cycle removal.
@@ -191,14 +201,20 @@ def figure2_traces(
     ``snapshot=True`` (synchronous rounds) reproduces the paper's gradual
     exponential decrease; the asynchronous variant spreads the peak within
     a single sweep.  The large sizes are the heaviest cells in the repo —
-    ``backend="process"`` runs them concurrently."""
+    ``backend="process"`` runs them concurrently and ``shard`` splits
+    them across machines (sizes owned by other shards are omitted from
+    the returned dict)."""
     engine: SweepEngine = SweepEngine(
         _figure2_cell,
         [(m, iterations, rng_seed, snapshot) for m in sizes],
         backend=backend,
         max_workers=max_workers,
+        store=store,
+        shard=shard,
     )
-    return dict(zip(sizes, engine.run()))
+    return {
+        m: trace for m, trace in zip(sizes, engine.run()) if trace is not None
+    }
 
 
 def _render_table(rel_tol: float, cells: list[TableCell]) -> str:

@@ -72,13 +72,17 @@ def selfishness_table(
     progress: bool = False,
     backend: str = "serial",
     max_workers: int | None = None,
+    store=None,
+    shard: "str | tuple[int, int] | None" = None,
 ) -> list[RatioCell]:
     """Compute the Table III grid.
 
     The paper uses uniform and exponential load distributions over its
     standard sizes; the peak distribution is excluded (a single owner has
     nothing to be selfish against in the l_av bands).  ``backend``
-    selects the :mod:`repro.engine` execution backend."""
+    selects the :mod:`repro.engine` execution backend; ``store``/``shard``
+    make the grid resumable and shardable (cells owned by other shards
+    are excluded from the aggregation)."""
     settings = [
         setting
         for speed_kind in ("constant", "uniform")
@@ -91,7 +95,8 @@ def selfishness_table(
         )
     ]
     engine: SweepEngine = SweepEngine(
-        selfishness_ratio, settings, backend=backend, max_workers=max_workers
+        selfishness_ratio, settings, backend=backend, max_workers=max_workers,
+        store=store, shard=shard,
     )
     announce = streaming_announcer(
         settings,
@@ -101,6 +106,8 @@ def selfishness_table(
     results = engine.run(progress=announce if progress else None)
     buckets: dict[tuple[str, str, str], list[float]] = {}
     for setting, ratio in zip(settings, results):
+        if ratio is None:
+            continue  # pending cell owned by another shard
         key = (
             setting.speed_kind,
             _load_band(setting.avg_load),

@@ -1,6 +1,6 @@
 """Asynchronous MinE agents: pairwise exchanges as a delayed handshake.
 
-Each server runs an agent process that periodically (jittered interval)
+Each server runs an agent loop that periodically (jittered interval)
 selects its best exchange partner from its *current gossip view*
 (:func:`repro.core.distributed.propose_partner`) and, if the expected
 improvement clears the threshold, starts a two-message handshake:
@@ -22,6 +22,27 @@ guards both roles) and every wait is bounded by a timeout, so dropped
 messages and dead peers stall nothing: the proposer frees itself after
 ``propose_timeout``, the acceptor after ``accept_timeout``.  Stale
 replies are discarded by token.
+
+Three mechanisms keep the loop cheap at fleet scale:
+
+* **Adaptive intervals.**  An agent whose proposals keep failing (no
+  improving partner in view, REJECT, timeout, or a no-op exchange)
+  backs off exponentially — its interval is multiplied by
+  ``backoff_factor`` per failure up to ``backoff_max`` — and snaps back
+  to the base interval the moment a proposal is accepted or fresh
+  information arrives.  A converged fleet therefore idles at a fraction
+  of its peak proposal rate instead of re-deriving "nothing to do"
+  every round.
+* **Proposal memoization.**  ``propose_partner`` is a pure function of
+  the gossip view and the allocation; if neither changed since the last
+  futile attempt (tracked via ``AsyncGossip.update_counts`` and a
+  global allocation version bumped on every exchange and churn event),
+  the agent skips the numpy evaluation outright.
+* **Partner-selection strategy.**  ``strategy="auto"`` uses the exact
+  batched evaluation (with static argsort/transpose caches) on small
+  fleets and the O(m) screened pass beyond
+  :data:`repro.core.distributed.EXACT_BUDGET` — at m = 2000 an exact
+  proposal costs seconds, a screened one a millisecond.
 """
 
 from __future__ import annotations
@@ -31,9 +52,16 @@ from typing import Callable
 
 import numpy as np
 
-from ..core.distributed import PairExchange, apply_pair_exchange, propose_partner
+from ..core.distributed import (
+    EXACT_BUDGET,
+    PairExchange,
+    apply_pair_exchange,
+    propose_partner,
+    static_caches_enabled,
+)
 from ..core.state import AllocationState
-from ..sim.events import Environment, Timeout
+from ..sim.events import Environment
+from ._util import BufferedUniform
 from .gossip import AsyncGossip
 from .net import ControlNetwork
 
@@ -58,6 +86,7 @@ class AgentStats:
     propose_timeouts: int = 0
     accept_timeouts: int = 0
     stale_messages: int = 0     #: replies whose token no longer matches
+    skipped_proposals: int = 0  #: memoized: view and state unchanged
 
 
 class ExchangeAgents:
@@ -76,12 +105,20 @@ class ExchangeAgents:
         propose_timeout: float,
         accept_timeout: float,
         min_improvement: float = 1e-9,
+        strategy: str = "auto",
+        screen_width: int = 16,
+        backoff_factor: float = 2.0,
+        backoff_max: float = 8.0,
         on_exchange: Callable[[PairExchange], None] | None = None,
         trace: list | None = None,
     ):
         m = state.inst.m
         if len(seeds) != m:
             raise ValueError("need one RNG seed per server")
+        if backoff_factor < 1.0 or backoff_max < 1.0:
+            raise ValueError("backoff factor and cap must be >= 1")
+        if strategy not in ("exact", "screened", "auto"):
+            raise ValueError(f"unknown strategy {strategy!r}")
         self.env = env
         self.net = net
         self.state = state
@@ -91,16 +128,49 @@ class ExchangeAgents:
         self.propose_timeout = float(propose_timeout)
         self.accept_timeout = float(accept_timeout)
         self.min_improvement = float(min_improvement)
+        self.strategy = strategy
+        self.screen_width = int(screen_width)
+        self.backoff_factor = float(backoff_factor)
+        self.backoff_max = float(backoff_max)
         self.on_exchange = on_exchange
         self.trace = trace
         self.rngs = [np.random.default_rng(s) for s in seeds]
+        self._jitter = [BufferedUniform(r) for r in self.rngs]
         self.stats = AgentStats()
         self.owners = np.flatnonzero(state.inst.loads > 0)
         #: per-server busy slot: ``None`` or ``(role, peer, token)``
         self.busy: list[tuple[str, int, int] | None] = [None] * m
         self._next_token = 0
+        #: per-server interval multiplier (adaptive back-off)
+        self.backoff = [1.0] * m
+        # Memoization: (gossip.update_counts[i], allocation version) at
+        # the last *futile* proposal evaluation, or None.
+        self._state_version = 0
+        self._futile: list[tuple[int, int] | None] = [None] * m
+        # Static caches for the exact batched evaluation, mirroring
+        # MinEOptimizer: the latency argsort depends only on the
+        # instance, the transposed R is maintained across exchanges.
+        h = max(1, self.owners.size)
+        self._use_exact = strategy == "exact" or (
+            strategy == "auto" and h * m <= EXACT_BUDGET
+        )
+        # The transposed R is maintained across exchanges in both modes:
+        # the exact batch reads candidate rows from it, and the screened
+        # pass hands it to calc_best_transfer (cache-friendly rows
+        # instead of strided column reads — the dominant cost of a
+        # screened proposal at fleet scale).
+        self._Rt = np.ascontiguousarray(state.R.T)
+        if self._use_exact:
+            self._Ct = np.ascontiguousarray(state.inst.latency.T)
+            caches_ok = static_caches_enabled(m, h)
+            self._order_cache: dict[int, np.ndarray] | None = {} if caches_ok else None
+            self._static_cache: dict[int, tuple] | None = {} if caches_ok else None
+        else:
+            self._Ct = None
+            self._order_cache = None
+            self._static_cache = None
         for i in range(m):
-            env.process(self._cycle(i))
+            self._arm(i)
 
     # ------------------------------------------------------------------
     def cancel(self, i: int) -> None:
@@ -108,39 +178,70 @@ class ExchangeAgents:
         late replies are discarded by token mismatch."""
         self.busy[i] = None
 
+    def notify_allocation_changed(self) -> None:
+        """Invalidate proposal memos after an out-of-band allocation
+        change (churn failure/rejoin); refreshes the transposed-R cache."""
+        self._state_version += 1
+        self._Rt = np.ascontiguousarray(self.state.R.T)
+
     def _record(self, *entry) -> None:
         if self.trace is not None:
             self.trace.append(entry)
 
-    def _after(self, delay: float, check: Callable[[], None]) -> None:
-        Timeout(self.env, delay).add_callback(lambda _ev: check())
+    def _bump_backoff(self, i: int) -> None:
+        b = self.backoff[i] * self.backoff_factor
+        self.backoff[i] = b if b < self.backoff_max else self.backoff_max
 
     # ------------------------------------------------------------------
-    def _cycle(self, i: int):
-        rng = self.rngs[i]
-        while True:
-            yield self.env.timeout(self.interval * (0.5 + rng.random()))
-            if not self.alive[i] or self.busy[i] is not None:
-                continue
-            view = self.gossip.view(i)
-            j, impr = propose_partner(
-                self.state.inst, self.state.R, i, view, owners=self.owners
-            )
-            if j < 0 or impr <= self.min_improvement:
-                continue
-            self._next_token += 1
-            token = self._next_token
-            self.busy[i] = (_PROPOSING, j, token)
-            self.stats.proposals += 1
-            self._record("propose", self.env.now, i, j, token)
-            self.net.send(i, j, self._on_propose, (i, j, token))
-            self._after(
-                self.propose_timeout, lambda i=i, token=token: self._expire(
-                    i, token, _PROPOSING
-                )
-            )
+    def _arm(self, i: int) -> None:
+        delay = self.interval * (0.5 + self._jitter[i].next()) * self.backoff[i]
+        self.env.call_in(delay, self._act, i)
 
-    def _expire(self, i: int, token: int, role: str) -> None:
+    def _act(self, i: int) -> None:
+        if not self.alive[i] or self.busy[i] is not None:
+            self._arm(i)
+            return
+        stamp = (int(self.gossip.update_counts[i]), self._state_version)
+        if self._futile[i] == stamp:
+            # Nothing the proposal depends on has changed since the last
+            # futile evaluation: same view, same allocation, same answer.
+            self.stats.skipped_proposals += 1
+            self._bump_backoff(i)
+            self._arm(i)
+            return
+        if self._futile[i] is not None:
+            # Fresh information after a futile spell: react at full rate.
+            self.backoff[i] = 1.0
+        view = self.gossip.view(i)
+        j, impr = propose_partner(
+            self.state.inst, self.state.R, i, view,
+            owners=self.owners,
+            strategy="exact" if self._use_exact else "screened",
+            screen_width=self.screen_width,
+            order_cache=self._order_cache,
+            rt_full=self._Rt,
+            ct_full=self._Ct,
+            static_cache=self._static_cache,
+        )
+        if j < 0 or impr <= self.min_improvement:
+            self._futile[i] = stamp
+            self._bump_backoff(i)
+            self._arm(i)
+            return
+        self._futile[i] = None
+        self._next_token += 1
+        token = self._next_token
+        self.busy[i] = (_PROPOSING, j, token)
+        self.stats.proposals += 1
+        self._record("propose", self.env.now, i, j, token)
+        self.net.send(i, j, self._on_propose, (i, j, token))
+        self.env.call_in(
+            self.propose_timeout, self._expire, (i, token, _PROPOSING)
+        )
+        self._arm(i)
+
+    def _expire(self, key: tuple) -> None:
+        i, token, role = key
         slot = self.busy[i]
         if slot is not None and slot[0] == role and slot[2] == token:
             self.busy[i] = None
@@ -148,6 +249,7 @@ class ExchangeAgents:
                 self.stats.propose_timeouts += 1
             else:
                 self.stats.accept_timeouts += 1
+            self._bump_backoff(i)
             self._record("timeout", self.env.now, i, role, token)
 
     # ------------------------------------------------------------------
@@ -162,12 +264,11 @@ class ExchangeAgents:
                 self.stats.preemptions += 1
             self.busy[j] = (_ACCEPTED, i, token)
             self.stats.accepts += 1
+            self.backoff[j] = 1.0  # accepted: this server is productive
             self._record("accept", self.env.now, j, i, token)
             self.net.send(j, i, self._on_accept, (i, j, token))
-            self._after(
-                self.accept_timeout, lambda j=j, token=token: self._expire(
-                    j, token, _ACCEPTED
-                )
+            self.env.call_in(
+                self.accept_timeout, self._expire, (j, token, _ACCEPTED)
             )
         else:
             self.stats.rejects += 1
@@ -188,6 +289,10 @@ class ExchangeAgents:
             )
             if ex is not None:
                 self.stats.exchanges += 1
+                self.backoff[i] = 1.0
+                self._state_version += 1
+                self._Rt[i] = ex.col_i
+                self._Rt[j] = ex.col_j
                 self._record(
                     "exchange", self.env.now, i, j, ex.improvement, ex.moved
                 )
@@ -195,6 +300,7 @@ class ExchangeAgents:
                     self.on_exchange(ex)
             else:
                 self.stats.noop_exchanges += 1
+                self._bump_backoff(i)
         else:
             # The pair-sync connection broke: j failed while ACCEPT was in
             # flight, so the exchange never happens.
@@ -205,6 +311,7 @@ class ExchangeAgents:
         i, j, token = msg
         if self.busy[i] == (_PROPOSING, j, token):
             self.busy[i] = None
+            self._bump_backoff(i)
         else:
             self.stats.stale_messages += 1
 

@@ -86,14 +86,17 @@ def start_churn(
         return
     mean_up = agent_interval / model.rate
     mean_down = agent_interval * model.downtime_rounds
+    rngs = [np.random.default_rng(s) for s in seeds]
 
-    def _cycle(j: int):
-        rng = np.random.default_rng(seeds[j])
-        while True:
-            yield env.timeout(rng.exponential(mean_up))
-            on_fail(j)
-            yield env.timeout(rng.exponential(mean_down))
-            on_rejoin(j)
+    # Self-re-arming callbacks (engine fast path): each server alternates
+    # between one pending fail event and one pending rejoin event.
+    def _fail(j: int) -> None:
+        on_fail(j)
+        env.call_in(rngs[j].exponential(mean_down), _rejoin, j)
+
+    def _rejoin(j: int) -> None:
+        on_rejoin(j)
+        env.call_in(rngs[j].exponential(mean_up), _fail, j)
 
     for j in range(len(seeds)):
-        env.process(_cycle(j))
+        env.call_in(rngs[j].exponential(mean_up), _fail, j)

@@ -80,7 +80,27 @@ class LiveConfig:
     churn_rate: float = 0.0
     churn_downtime_rounds: float = 3.0
     min_improvement: float = 1e-9
+    #: Relative improvement floor: exchanges expected to improve ΣCi by
+    #: less than ``min_improvement_rel · initial_cost / m`` are not
+    #: proposed, so the *total* improvement a fleet can forgo is about
+    #: ``min_improvement_rel`` of the initial cost regardless of fleet
+    #: size — at the default, orders of magnitude below the paper's 2 %
+    #: bound.  Keeps a converged fleet from grinding out float-dust
+    #: exchanges forever (each perturbs views, defeating back-off).
+    #: Set 0 to propose down to the absolute ``min_improvement``.
+    min_improvement_rel: float = 3e-4
     arrival_rate_scale: float = 0.0
+    #: Partner-selection strategy of the agents ("auto" = exact on small
+    #: fleets, O(m) screened beyond ``EXACT_BUDGET``) and the screened
+    #: candidate count.
+    agent_strategy: str = "auto"
+    agent_screen_width: int = 16
+    #: Adaptive agent intervals: a failing agent's interval is multiplied
+    #: by ``backoff_factor`` per failure up to ``backoff_max`` and reset
+    #: on accept (or on fresh gossip/allocation information).
+    #: ``backoff_max=1`` disables the mechanism.
+    backoff_factor: float = 2.0
+    backoff_max: float = 8.0
 
     def resolve(self, inst: Instance) -> "LiveConfig":
         """A copy with every ``None`` interval filled from the latency
@@ -211,6 +231,10 @@ class LiveSimulation:
     optimum:
         Offline optimum for error/convergence metrics — a cost, or an
         :class:`AllocationState` (also enabling per-server load errors).
+    scheduler:
+        Event-queue scheduler (``"auto"``, ``"heap"``, ``"calendar"`` —
+        see :class:`repro.sim.events.Environment`); all three produce
+        identical traces, which the determinism suite asserts.
     """
 
     def __init__(
@@ -221,6 +245,7 @@ class LiveSimulation:
         seed: int = 0,
         state: AllocationState | None = None,
         optimum: "AllocationState | float | None" = None,
+        scheduler: str = "auto",
     ):
         self.inst = inst
         self.config = (config if config is not None else LiveConfig()).resolve(inst)
@@ -237,13 +262,21 @@ class LiveSimulation:
 
         m = inst.m
         cfg = self.config
-        self.env = Environment()
+        self.env = Environment(scheduler=scheduler)
         self.alive = np.ones(m, dtype=bool)
         self.trace: list = []
         self.failures: list[tuple[float, int]] = []
         self.rejoins: list[tuple[float, int]] = []
         self._cost_times: list[tuple[float, float]] = []
         self._wall = 0.0
+        # Cost sampling: small fleets recompute ΣCi exactly at every
+        # sample (cheap, keeps the trajectory monotone to the last ulp);
+        # large fleets track it incrementally from the exact per-exchange
+        # improvements (an O(m²) recompute per exchange would dominate
+        # the run) and re-anchor exactly at run boundaries and churn
+        # events.
+        self._incremental_cost = m > 256
+        self._running_cost = 0.0
 
         root = np.random.SeedSequence(
             entropy=_LIVESIM_ENTROPY, spawn_key=(int(seed),)
@@ -266,6 +299,7 @@ class LiveSimulation:
             gossip_par.spawn(m),
             interval=cfg.gossip_interval,
         )
+        initial_cost = self.state.total_cost()
         self.agents = ExchangeAgents(
             self.env,
             self.net,
@@ -276,8 +310,14 @@ class LiveSimulation:
             interval=cfg.agent_interval,
             propose_timeout=cfg.propose_timeout,
             accept_timeout=cfg.accept_timeout,
-            min_improvement=cfg.min_improvement,
-            on_exchange=lambda _ex: self._sample_cost(),
+            min_improvement=max(
+                cfg.min_improvement, cfg.min_improvement_rel * initial_cost / m
+            ),
+            strategy=cfg.agent_strategy,
+            screen_width=cfg.agent_screen_width,
+            backoff_factor=cfg.backoff_factor,
+            backoff_max=cfg.backoff_max,
+            on_exchange=self._on_exchange,
             trace=self.trace,
         )
         start_churn(
@@ -299,20 +339,32 @@ class LiveSimulation:
             self.servers = [
                 SimServer(self.env, j, float(inst.speeds[j])) for j in range(m)
             ]
+            self._traffic_rngs: dict[int, np.random.Generator] = {}
+            self._traffic_rates = inst.loads * cfg.arrival_rate_scale
             for i, child in enumerate(traffic_par.spawn(m)):
-                rate = float(inst.loads[i]) * cfg.arrival_rate_scale
-                if rate > 0:
-                    self.env.process(
-                        self._traffic_source(i, rate, np.random.default_rng(child))
+                if self._traffic_rates[i] > 0:
+                    rng = np.random.default_rng(child)
+                    self._traffic_rngs[i] = rng
+                    self.env.call_in(
+                        rng.exponential(1.0 / self._traffic_rates[i]),
+                        self._traffic_fire, i,
                     )
         else:
             self.servers = []
 
-        self._sample_cost()  # t = 0 anchor
+        self._sample_cost(exact=True)  # t = 0 anchor
 
     # ------------------------------------------------------------------
-    def _sample_cost(self) -> None:
-        self._cost_times.append((self.env.now, self.state.total_cost()))
+    def _sample_cost(self, exact: bool = False) -> None:
+        if exact or not self._incremental_cost:
+            self._running_cost = self.state.total_cost()
+        self._cost_times.append((self.env.now, self._running_cost))
+
+    def _on_exchange(self, ex) -> None:
+        # The improvement is exact (computed from the applied columns),
+        # so the running cost tracks ΣCi without the O(m²) recompute.
+        self._running_cost -= ex.improvement
+        self._sample_cost()
 
     def _fail(self, j: int) -> None:
         if not self.alive[j]:
@@ -320,43 +372,45 @@ class LiveSimulation:
         self.alive[j] = False
         self.agents.cancel(j)
         displaced = fail_server(self.state, j)
+        self.agents.notify_allocation_changed()
         self.failures.append((self.env.now, j))
         self.trace.append(("fail", self.env.now, j, displaced))
-        self._sample_cost()
+        self._sample_cost(exact=True)
 
     def _rejoin(self, j: int) -> None:
         if self.alive[j]:
             return
         self.alive[j] = True
         rejoin_server(self.state, j)
+        self.agents.notify_allocation_changed()
         # Announce the comeback: the empty server republishes itself so
         # gossip spreads the rebalancing opportunity.
         self.gossip.publish(j)
         self.rejoins.append((self.env.now, j))
         self.trace.append(("rejoin", self.env.now, j))
-        self._sample_cost()
+        self._sample_cost(exact=True)
 
-    def _traffic_source(self, i: int, rate: float, rng: np.random.Generator):
+    def _traffic_fire(self, i: int) -> None:
         inst = self.inst
-        n_i = float(inst.loads[i])
-        while True:
-            yield self.env.timeout(rng.exponential(1.0 / rate))
-            self._requests_generated += 1
-            # Live routing fractions; clip float dust from incremental
-            # column updates so the probabilities stay a distribution.
-            p = np.clip(self.state.R[i], 0.0, None) / n_i
-            p = p / p.sum()
-            j = int(rng.choice(inst.m, p=p))
-            delay = float(inst.latency[i, j])
-            if not self.alive[j] or not np.isfinite(delay):
-                self._requests_failed += 1
-                continue
+        rng = self._traffic_rngs[i]
+        self._requests_generated += 1
+        # Live routing fractions; clip float dust from incremental
+        # column updates so the probabilities stay a distribution.
+        p = np.clip(self.state.R[i], 0.0, None) / float(inst.loads[i])
+        p = p / p.sum()
+        j = int(rng.choice(inst.m, p=p))
+        delay = float(inst.latency[i, j])
+        if not self.alive[j] or not np.isfinite(delay):
+            self._requests_failed += 1
+        else:
             req = Request(owner=i, server=j, t_submit=self.env.now)
             self._requests.append(req)
-            self.env.process(self._in_flight(req, delay))
+            self.env.call_in(delay, self._request_arrives, req)
+        self.env.call_in(
+            rng.exponential(1.0 / self._traffic_rates[i]), self._traffic_fire, i
+        )
 
-    def _in_flight(self, req: Request, delay: float):
-        yield self.env.timeout(delay)
+    def _request_arrives(self, req: Request) -> None:
         if self.alive[req.server]:
             self.servers[req.server].submit(req)
         else:
@@ -381,7 +435,7 @@ class LiveSimulation:
         t0 = _time.perf_counter()
         self.env.run(until=horizon)
         self._wall += _time.perf_counter() - t0
-        self._sample_cost()
+        self._sample_cost(exact=True)  # re-anchor incremental tracking
         return self.report()
 
     def report(self) -> LiveReport:

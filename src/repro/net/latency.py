@@ -28,9 +28,16 @@ def floyd_warshall(dist: np.ndarray) -> np.ndarray:
     if d.shape != (n, n):
         raise ValueError("distance matrix must be square")
     np.fill_diagonal(d, 0.0)
+    # Deliberately NOT delegated to scipy.sparse.csgraph: instances are
+    # promised bit-identical on any machine, and the C implementation's
+    # different summation order can flip last-ulp minima.  (The two are
+    # still cross-checked in the tests.)  The ``out=`` buffers keep the
+    # n allocation-free O(n²) passes from thrashing the allocator at
+    # fleet scale.
+    via = np.empty_like(d)
     for k in range(n):
         # d = min(d, d[:, k, None] + d[None, k, :]) without temporaries.
-        via = d[:, k, None] + d[None, k, :]
+        np.add(d[:, k, None], d[None, k, :], out=via)
         np.minimum(d, via, out=d)
     return d
 

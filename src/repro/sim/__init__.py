@@ -1,6 +1,14 @@
 """Discrete-event simulation substrate validating the analytic model."""
 
-from .events import Environment, Event, Process, Timeout
+from .events import (
+    CALENDAR_THRESHOLD,
+    CalendarQueue,
+    Environment,
+    Event,
+    HeapQueue,
+    Process,
+    Timeout,
+)
 from .runner import SimulationReport, simulate_snapshot, simulate_stream
 from .server import Request, SimServer
 
@@ -9,6 +17,9 @@ __all__ = [
     "Event",
     "Timeout",
     "Process",
+    "HeapQueue",
+    "CalendarQueue",
+    "CALENDAR_THRESHOLD",
     "SimServer",
     "Request",
     "SimulationReport",

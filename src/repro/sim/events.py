@@ -1,21 +1,258 @@
-"""A small generator-based discrete-event simulation engine.
+"""A small discrete-event simulation engine with two schedulers.
 
 The paper's model makes an analytic claim — with ``l_j`` requests on
 server ``j`` and no control over processing order, the expected handling
 time of a request is ``l_j / (2 s_j)`` — that the request-processing layer
 in :mod:`repro.sim.runner` validates empirically.  This module is the
-engine underneath: a classic event-heap simulator with simpy-style
-generator processes (``yield env.timeout(dt)``), written from scratch
-because no DES library is available offline.
+engine underneath, written from scratch because no DES library is
+available offline.  Two layers matter for throughput:
+
+* **Scheduler.**  Pending events live either in a binary heap
+  (:class:`HeapQueue`, the classic choice, O(log n) per operation) or in
+  a slotted *calendar queue* (:class:`CalendarQueue`, Brown 1988 —
+  events hashed into time buckets of width ≈ the mean inter-event gap,
+  amortized O(1) per operation).  Both pop in exactly the same total
+  order ``(time, tie-break sequence)``, so a simulation produces an
+  identical event trace on either scheduler; ``scheduler="auto"``
+  (default) starts on the heap and promotes to a calendar queue when the
+  pending-event horizon becomes dense enough for bucketing to pay off.
+
+* **Callback fast path.**  Generator processes (``yield env.timeout``)
+  are convenient but cost a ``Timeout`` + ``Event`` + generator resume
+  per step.  Fixed-shape processes (message deliveries, periodic ticks,
+  service completions) can instead use :meth:`Environment.call_at` /
+  :meth:`Environment.call_in`: the queue entry *is* the callback, with
+  no event object, no deferred-callback hop and no generator machinery.
+  The hot paths of :mod:`repro.sim.runner` and :mod:`repro.livesim` run
+  entirely on this path.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from bisect import insort
+from math import isfinite
 from typing import Any, Callable, Generator
 
-__all__ = ["Environment", "Timeout", "Process", "Event"]
+__all__ = [
+    "Environment",
+    "Timeout",
+    "Process",
+    "Event",
+    "HeapQueue",
+    "CalendarQueue",
+    "CALENDAR_THRESHOLD",
+]
+
+#: ``scheduler="auto"`` promotes the heap to a calendar queue once this
+#: many events are pending at once.  The value is the measured crossover
+#: (see ``benchmarks/BENCH_events.json``): below it C-implemented
+#: ``heapq`` wins on constant factors, above it the heap's O(log n)
+#: comparisons overtake the calendar queue's flat bucket walk (~1.1x at
+#: twice the threshold).  Typical simulations never reach it — which is
+#: the point: auto never pessimizes them — while extreme fan-out
+#: workloads cross it and stay bucketed for the rest of the run.
+CALENDAR_THRESHOLD = 1 << 18
+
+# Queue entries are ``(time, seq, is_callback, obj, value)``.  ``seq`` is
+# unique, so tuple comparison never reaches ``obj`` and the pop order is
+# the total order (time, seq) on every scheduler.
+
+
+class HeapQueue:
+    """Binary-heap scheduler: the fallback, optimal at small pending counts."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self, entries=()):
+        self._heap = list(entries)
+        heapq.heapify(self._heap)
+
+    def push(self, entry) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def pop(self):
+        return heapq.heappop(self._heap)
+
+    def peek(self):
+        return self._heap[0] if self._heap else None
+
+    def pop_due(self, until: float | None):
+        """Pop and return the minimum entry if one exists and its time is
+        ``<= until`` (``None`` disables the bound); else return ``None``."""
+        heap = self._heap
+        if not heap or (until is not None and heap[0][0] > until):
+            return None
+        return heapq.heappop(heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def entries(self) -> list:
+        return list(self._heap)
+
+
+class CalendarQueue:
+    """Slotted calendar queue (Brown 1988) with heap-identical pop order.
+
+    Events are hashed by ``floor(time / width) % nbuckets`` into small
+    sorted bucket lists; a pop scans from the current bucket within the
+    current *lap* (one bucket-width window of time), so with width ≈ a
+    few mean inter-event gaps each operation touches O(1) buckets.  The
+    structure resizes itself (rebuilding with a fresh width estimated
+    from the queued events' time span) when the population outgrows or
+    undershoots the bucket count.
+
+    Determinism: each bucket is a sorted list on the full ``(time, seq,
+    ...)`` entry and equal times always hash to the same bucket, so the
+    global pop order is exactly the ``(time, seq)`` total order —
+    bitwise identical to :class:`HeapQueue`.
+    """
+
+    __slots__ = (
+        "_buckets", "_nbuckets", "_mask", "_width", "_inv_width",
+        "_size", "_cur", "_top", "_grow_at", "_shrink_at", "_overflow",
+    )
+
+    _MIN_BUCKETS = 32
+    _MAX_BUCKETS = 1 << 20
+    #: Bucket width in mean inter-event gaps.  Wider buckets (a few
+    #: entries each) mean fewer empty-bucket steps per pop, while
+    #: C-implemented ``insort`` keeps insertion cheap at that occupancy —
+    #: the measured sweet spot (see ``benchmarks/BENCH_events.json``).
+    _WIDTH_FACTOR = 4.0
+
+    def __init__(self, entries=()):
+        self._build(list(entries))
+
+    # ------------------------------------------------------------------
+    def _build(self, items: list) -> None:
+        # Events at non-finite times (inf = "never", which the heap
+        # tolerates naturally) cannot be bucketed; they wait in a sorted
+        # side list consulted only when every bucket is empty.
+        self._overflow = [e for e in items if not isfinite(e[0])]
+        self._overflow.sort()
+        items = [e for e in items if isfinite(e[0])]
+        n = len(items)
+        nbuckets = 1 << max(n // 4, 1).bit_length()  # ~4–8 entries/bucket
+        nbuckets = min(max(nbuckets, self._MIN_BUCKETS), self._MAX_BUCKETS)
+        if items:
+            times = [e[0] for e in items]
+            tmin = min(times)
+            tmax = max(times)
+            # Event-horizon density sets the bucket width: the pending
+            # events' time span over their count is the mean gap.
+            width = (tmax - tmin) / n * self._WIDTH_FACTOR if tmax > tmin else 1.0
+            width = max(width, 1e-12)
+        else:
+            tmin, width = 0.0, 1.0
+        self._nbuckets = nbuckets
+        self._mask = nbuckets - 1
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._buckets: list[list] = [[] for _ in range(nbuckets)]
+        self._size = n + len(self._overflow)
+        self._grow_at = 8 * nbuckets
+        self._shrink_at = nbuckets >> 2
+        lap = int(tmin * self._inv_width)
+        self._cur = lap & self._mask
+        self._top = (lap + 1) * width
+        items.sort()
+        for e in items:  # already sorted: plain append keeps buckets sorted
+            self._buckets[int(e[0] * self._inv_width) & self._mask].append(e)
+
+    def _rebuild(self) -> None:
+        self._build(self.entries())
+
+    # ------------------------------------------------------------------
+    def push(self, entry) -> None:
+        t = entry[0]
+        if not isfinite(t):
+            insort(self._overflow, entry)
+            self._size += 1
+            return
+        lap = int(t * self._inv_width)
+        insort(self._buckets[lap & self._mask], entry)
+        self._size += 1
+        if t < self._top - self._width:
+            # The entry lands before the current scan lap: rewind so the
+            # scan cannot walk past it.
+            self._cur = lap & self._mask
+            self._top = (lap + 1) * self._width
+        # Growth tracks *bucketed* entries only — a backlog of never-due
+        # inf-time events must not force rebuilds on every push.
+        if (
+            self._size - len(self._overflow) > self._grow_at
+            and self._nbuckets < self._MAX_BUCKETS
+        ):
+            self._rebuild()
+
+    def _locate(self) -> list | None:
+        """Advance the scan to the bucket holding the global minimum and
+        return it (``None`` when empty)."""
+        if not self._size:
+            return None
+        buckets = self._buckets
+        mask = self._mask
+        width = self._width
+        cur = self._cur
+        top = self._top
+        b = buckets[cur]
+        if b and b[0][0] < top:  # fast path: the scan bucket is still due
+            return b
+        for _ in range(self._nbuckets):
+            cur = (cur + 1) & mask
+            top += width
+            b = buckets[cur]
+            if b and b[0][0] < top:
+                self._cur = cur
+                self._top = top
+                return b
+        # Nothing due within one full lap (sparse far-future events):
+        # jump the scan straight to the global minimum.
+        best = -1
+        for idx, b in enumerate(buckets):
+            if b and (best < 0 or b[0] < buckets[best][0]):
+                best = idx
+        if best < 0:
+            return self._overflow  # only non-finite times remain
+        t = buckets[best][0][0]
+        self._cur = best
+        self._top = (int(t * self._inv_width) + 1) * width
+        return buckets[best]
+
+    def pop(self):
+        b = self._locate()
+        if b is None:
+            raise IndexError("pop from an empty CalendarQueue")
+        entry = b.pop(0)
+        self._size -= 1
+        if self._size < self._shrink_at and self._nbuckets > self._MIN_BUCKETS:
+            self._rebuild()
+        return entry
+
+    def peek(self):
+        b = self._locate()
+        return b[0] if b is not None else None
+
+    def pop_due(self, until: float | None):
+        """Pop and return the minimum entry if one exists and its time is
+        ``<= until`` (``None`` disables the bound); else return ``None``."""
+        b = self._locate()
+        if b is None or (until is not None and b[0][0] > until):
+            return None
+        entry = b.pop(0)
+        self._size -= 1
+        if self._size < self._shrink_at and self._nbuckets > self._MIN_BUCKETS:
+            self._rebuild()
+        return entry
+
+    def __len__(self) -> int:
+        return self._size
+
+    def entries(self) -> list:
+        return [e for b in self._buckets for e in b] + list(self._overflow)
 
 
 class Event:
@@ -85,22 +322,54 @@ class Process(Event):
 
 
 class Environment:
-    """The event loop: a time-ordered heap of pending events."""
+    """The event loop: a time-ordered queue of pending events.
 
-    def __init__(self):
+    ``scheduler`` selects the pending-event structure: ``"heap"``,
+    ``"calendar"``, or ``"auto"`` (start on the heap, promote to a
+    calendar queue once :data:`CALENDAR_THRESHOLD` events are pending).
+    All three produce identical event traces; only the constant factors
+    differ.
+    """
+
+    def __init__(self, scheduler: str = "auto"):
+        if scheduler not in ("auto", "heap", "calendar"):
+            raise ValueError(
+                f"scheduler must be 'auto', 'heap' or 'calendar', got {scheduler!r}"
+            )
         self.now = 0.0
         #: Number of events executed so far — the throughput denominator
         #: reported by long-running simulations (events per second).
         self.processed = 0
-        self._heap: list[tuple[float, int, Event, Any]] = []
+        self.scheduler = scheduler
+        self._queue: HeapQueue | CalendarQueue = (
+            CalendarQueue() if scheduler == "calendar" else HeapQueue()
+        )
+        self._auto = scheduler == "auto"
         self._counter = itertools.count()
         self._pending_callbacks: list[tuple[Callable[[Event], None], Event]] = []
 
     # ------------------------------------------------------------------
     # Scheduling primitives
     # ------------------------------------------------------------------
+    @property
+    def scheduler_in_use(self) -> str:
+        """The scheduler currently backing the queue."""
+        return "calendar" if isinstance(self._queue, CalendarQueue) else "heap"
+
+    @property
+    def queue_size(self) -> int:
+        """Number of scheduled (not yet executed) events."""
+        return len(self._queue)
+
+    def _promote(self) -> None:
+        """Migrate the heap's entries into a calendar queue (auto mode)."""
+        self._queue = CalendarQueue(self._queue.entries())
+        self._auto = False
+
     def _schedule_at(self, time: float, event: Event, value: Any = None) -> None:
-        heapq.heappush(self._heap, (time, next(self._counter), event, value))
+        self._queue.push((time, next(self._counter), False, event, value))
+        if self._auto and len(self._queue) > CALENDAR_THRESHOLD:
+            self._promote()
 
     def _schedule_callback(
         self, cb: Callable[[Event], None], event: Event
@@ -119,26 +388,82 @@ class Environment:
     def process(self, gen: Generator[Event, Any, Any]) -> Process:
         return Process(self, gen)
 
+    def call_at(self, time: float, fn: Callable[[Any], None], value: Any = None) -> None:
+        """Schedule the bare callback ``fn(value)`` at absolute ``time``.
+
+        The fast path for fixed-shape processes: one queue entry, no
+        :class:`Event` allocation, no deferred-callback hop.  The call
+        counts as one processed event and is ordered against every other
+        event by the shared ``(time, sequence)`` order.
+        """
+        if time < self.now:
+            raise ValueError(f"call_at into the past ({time} < now {self.now})")
+        self._queue.push((time, next(self._counter), True, fn, value))
+        if self._auto and len(self._queue) > CALENDAR_THRESHOLD:
+            self._promote()
+
+    def call_in(self, delay: float, fn: Callable[[Any], None], value: Any = None) -> None:
+        """Schedule ``fn(value)`` after ``delay`` time units (``call_at``
+        relative to the current clock)."""
+        if delay < 0:
+            raise ValueError("negative delay")
+        self._queue.push((self.now + delay, next(self._counter), True, fn, value))
+        if self._auto and len(self._queue) > CALENDAR_THRESHOLD:
+            self._promote()
+
     def run(self, until: float | None = None) -> None:
-        """Execute events in time order until the heap is empty or the
+        """Execute events in time order until the queue is empty or the
         clock passes ``until``."""
-        while True:
+        pend = self._pending_callbacks
+        processed = self.processed
+        try:
+            while True:
+                if pend:
+                    self.processed = processed
+                    self._drain_callbacks()
+                    processed = self.processed
+                queue = self._queue  # may have been promoted mid-run
+                pop_due = queue.pop_due
+                # Inner loop: no deferred callbacks pending and a stable
+                # queue — the overwhelmingly common state on the callback
+                # fast path.
+                while True:
+                    head = pop_due(until)
+                    if head is None:
+                        if until is not None and len(queue):
+                            self.now = until  # horizon hit, events remain
+                        self.processed = processed
+                        return
+                    if head[2]:  # bare callback: fn(value)
+                        self.now = head[0]
+                        processed += 1
+                        head[3](head[4])
+                        if pend or queue is not self._queue:
+                            break
+                    else:
+                        event = head[3]
+                        if event.triggered:
+                            continue
+                        self.now = head[0]
+                        processed += 1
+                        event.succeed(head[4])
+                        break  # succeed defers callbacks: drain them
+        finally:
+            self.processed = processed
             self._drain_callbacks()
-            if not self._heap:
-                break
-            time, _, event, value = self._heap[0]
-            if until is not None and time > until:
-                self.now = until
-                break
-            heapq.heappop(self._heap)
-            if event.triggered:
-                continue
-            self.now = time
-            self.processed += 1
-            event.succeed(value)
-        self._drain_callbacks()
 
     def _drain_callbacks(self) -> None:
-        while self._pending_callbacks:
-            cb, ev = self._pending_callbacks.pop(0)
-            cb(ev)
+        # Index cursor instead of pop(0): callbacks appended while
+        # draining (chained events) extend the same pass, and the drain
+        # stays O(n) where the pop-from-front version was O(n²).  The
+        # executed prefix is dropped even when a callback raises, so a
+        # re-entered drain (run()'s finally) never runs a callback twice.
+        pend = self._pending_callbacks
+        i = 0
+        try:
+            while i < len(pend):
+                cb, ev = pend[i]
+                i += 1
+                cb(ev)
+        finally:
+            del pend[:i]

@@ -139,26 +139,22 @@ def simulate_stream(
     servers = [SimServer(env, j, float(inst.speeds[j])) for j in range(inst.m)]
     rho = state.fractions()
     submitted: list[Request] = []
+    rates = inst.loads * arrival_rate_scale
 
-    def org_source(i: int):
-        rate = inst.loads[i] * arrival_rate_scale
-        if rate <= 0:
+    # Arrivals run on the callback fast path: each organization keeps
+    # exactly one pending arrival event, re-armed after it fires.
+    def _arrive(i: int) -> None:
+        if env.now >= horizon:
             return
-        while env.now < horizon:
-            yield env.timeout(rng.exponential(1.0 / rate))
-            if env.now >= horizon:
-                return
-            j = int(rng.choice(inst.m, p=rho[i]))
-            req = Request(owner=i, server=j, t_submit=env.now)
-            submitted.append(req)
-            env.process(_in_flight(env, servers[j], req, inst.latency[i, j]))
-
-    def _in_flight(env_, server, req, delay):
-        yield env_.timeout(delay)
-        server.submit(req)
+        j = int(rng.choice(inst.m, p=rho[i]))
+        req = Request(owner=i, server=j, t_submit=env.now)
+        submitted.append(req)
+        env.call_in(inst.latency[i, j], servers[j].submit, req)
+        env.call_in(rng.exponential(1.0 / rates[i]), _arrive, i)
 
     for i in range(inst.m):
-        env.process(org_source(i))
+        if rates[i] > 0:
+            env.call_in(rng.exponential(1.0 / rates[i]), _arrive, i)
     env.run(until=horizon * 1.5)
 
     done = [r for r in submitted if not np.isnan(r.t_complete)]

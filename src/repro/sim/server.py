@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from .events import Environment, Event
+from .events import Environment
 
 __all__ = ["Request", "SimServer"]
 
@@ -32,7 +32,9 @@ class SimServer:
     """A FIFO server processing requests at a fixed speed.
 
     Service of a request of ``size`` takes ``size / speed`` time units —
-    the paper's constant-throughput assumption.
+    the paper's constant-throughput assumption.  Runs entirely on the
+    engine's callback fast path: one ``call_at`` per service completion,
+    no generator process and no wake-up event objects.
     """
 
     def __init__(self, env: Environment, index: int, speed: float):
@@ -43,31 +45,30 @@ class SimServer:
         self.speed = speed
         self.queue: deque[Request] = deque()
         self.completed: list[Request] = []
-        self.busy_until = 0.0
-        self._wakeup: Event | None = None
-        env.process(self._run())
+        self.busy = False
 
     # ------------------------------------------------------------------
     def submit(self, req: Request) -> None:
         """Enqueue an arriving request (call at its arrival time)."""
         req.t_arrive = self.env.now
         self.queue.append(req)
-        if self._wakeup is not None and not self._wakeup.triggered:
-            self._wakeup.succeed()
-            self._wakeup = None
+        if not self.busy:
+            self._start_next()
 
     @property
     def backlog(self) -> int:
         return len(self.queue)
 
     # ------------------------------------------------------------------
-    def _run(self):
-        while True:
-            if not self.queue:
-                self._wakeup = self.env.event()
-                yield self._wakeup
-                continue
-            req = self.queue.popleft()
-            yield self.env.timeout(req.size / self.speed)
-            req.t_complete = self.env.now
-            self.completed.append(req)
+    def _start_next(self) -> None:
+        req = self.queue.popleft()
+        self.busy = True
+        self.env.call_in(req.size / self.speed, self._complete, req)
+
+    def _complete(self, req: Request) -> None:
+        req.t_complete = self.env.now
+        self.completed.append(req)
+        if self.queue:
+            self._start_next()
+        else:
+            self.busy = False

@@ -15,7 +15,14 @@ Single instances come straight out of the registry and feed any solver:
 >>> inst = get_scenario("federation-diurnal").instance(m=30, seed=1)
 """
 
-from .cache import cache_stats, cached_instance, cached_optimum, clear_cache
+from .cache import (
+    cache_stats,
+    cached_instance,
+    cached_optimum,
+    clear_cache,
+    get_cache_dir,
+    set_cache_dir,
+)
 from .loadmodels import (
     CorrelatedSurgeLoads,
     DiurnalLoads,
@@ -78,9 +85,11 @@ __all__ = [
     "ScenarioResult",
     "SweepCell",
     "evaluate_cell",
-    # cross-sweep memo cache
+    # cross-sweep cache (in-process memo + optional on-disk tier)
     "cached_instance",
     "cached_optimum",
     "cache_stats",
     "clear_cache",
+    "set_cache_dir",
+    "get_cache_dir",
 ]

@@ -1,17 +1,27 @@
-"""In-process memo cache for scenario instances and their solved optima.
+"""Two-tier cache for scenario instances and their solved optima.
 
-The first slice of the ROADMAP's cross-sweep-caching item: cells of
-different sweeps (and different metric configs within one sweep) share
-the same materialized ``(scenario, m, seed)`` instance and — much more
-importantly — the same O(m²–m³) cooperative-optimum solve.  Both are
-memoized per process, keyed by the cell coordinates and guarded by the
-scenario *definition* (dataclass equality), so re-registering a
-same-named scenario with different parameters can never serve a stale
-instance.
+The cross-sweep-caching item of the ROADMAP, in two tiers:
 
-Workers of the process backends each hold their own cache, which is
-exactly what you want: a chunk of cells for the same scenario solves the
-optimum once per worker instead of once per cell.
+* **In-process memo** — cells of different sweeps (and different metric
+  configs within one sweep) share the same materialized
+  ``(scenario, m, seed)`` instance and — much more importantly — the
+  same O(m²–m³) cooperative-optimum solve.  Both are memoized per
+  process, keyed by the cell coordinates and guarded by the scenario
+  *definition* (dataclass equality), so re-registering a same-named
+  scenario with different parameters can never serve a stale instance.
+  Workers of the process backends each hold their own memo, which is
+  exactly what you want: a chunk of cells for the same scenario solves
+  the optimum once per worker instead of once per cell.
+
+* **On-disk tier** — with a cache directory configured
+  (:func:`set_cache_dir`, or the ``REPRO_CACHE_DIR`` environment
+  variable), every solved optimum is also written as one ``.npz`` per
+  cell key, and a memo miss checks the directory before solving.  This
+  is what lets *shards and re-runs across processes* skip the solve:
+  the file name embeds the scenario name, cell coordinates, solver
+  parameters and a digest of the materialized instance arrays, so a
+  redefined scenario can never be served a stale file.  Writes are
+  atomic (tmp + rename), so concurrent shards can share one directory.
 
 >>> from repro.workloads import cached_instance, cached_optimum
 >>> inst = cached_instance(get_scenario("cdn-flashcrowd"), 30, 0)
@@ -21,10 +31,15 @@ optimum once per worker instead of once per cell.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+import zipfile
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..core.instance import Instance
 from ..core.qp import solve_optimal
@@ -36,6 +51,8 @@ __all__ = [
     "cached_optimum",
     "cache_stats",
     "clear_cache",
+    "set_cache_dir",
+    "get_cache_dir",
 ]
 
 #: Entries kept per cache before FIFO eviction; at default preset sizes
@@ -69,9 +86,69 @@ class CacheStats:
     instance_misses: int = 0
     optimum_hits: int = 0
     optimum_misses: int = 0
+    disk_hits: int = 0       #: optimum served from the on-disk tier
+    disk_misses: int = 0     #: disk tier enabled but had no file
 
 
 _STATS = CacheStats()
+
+# On-disk second tier: None disables it.
+_CACHE_DIR: "str | None" = os.environ.get("REPRO_CACHE_DIR") or None
+
+
+def set_cache_dir(path: "str | os.PathLike | None") -> "str | None":
+    """Set (or with ``None`` disable) the on-disk cache directory;
+    returns the previous value.  Overrides ``REPRO_CACHE_DIR``."""
+    global _CACHE_DIR
+    previous = _CACHE_DIR
+    _CACHE_DIR = os.fspath(path) if path is not None else None
+    return previous
+
+
+def get_cache_dir() -> "str | None":
+    """The active on-disk cache directory (``None`` = tier disabled)."""
+    return _CACHE_DIR
+
+
+def _disk_path(
+    scenario: Scenario, inst: Instance, m: int, seed: int, tol: float, method: str
+) -> str:
+    """One ``.npz`` per cell key.  The digest covers what the solver
+    actually consumes (speeds, loads, latency bytes), so any way of
+    redefining a same-named scenario changes the file name."""
+    h = zlib.crc32(inst.speeds.tobytes())
+    h = zlib.crc32(inst.loads.tobytes(), h)
+    h = zlib.crc32(inst.latency.tobytes(), h)
+    name = (
+        f"{scenario.name}-m{m}-s{seed}-tol{tol:g}-{method}-{h & 0xFFFFFFFF:08x}.npz"
+    )
+    return os.path.join(_CACHE_DIR, name)
+
+
+def _disk_load(path: str, inst: Instance) -> "tuple[AllocationState, float] | None":
+    try:
+        with np.load(path) as npz:
+            R = npz["R"]
+            cost = float(npz["cost"])
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile):
+        return None  # absent, torn, or foreign file: fall through to solve
+    if R.shape != (inst.m, inst.m):
+        return None
+    return AllocationState(inst, R, validate=False), cost
+
+
+def _disk_store(path: str, state: AllocationState, cost: float) -> None:
+    os.makedirs(_CACHE_DIR, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, R=state.R, cost=np.float64(cost))
+        os.replace(tmp, path)  # atomic: concurrent shards can share a dir
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
 
 
 def _put(cache: OrderedDict, key: tuple, value) -> None:
@@ -126,13 +203,25 @@ def cached_optimum(
         if hit is not None and hit[0] == scenario:
             _STATS.optimum_hits += 1
             return hit[1].copy(), hit[2], 0.0, True
-        _STATS.optimum_misses += 1
         inst = cached_instance(scenario, m, seed)
+        disk_path = None
+        if _CACHE_DIR is not None:
+            disk_path = _disk_path(scenario, inst, m, seed, float(tol), str(method))
+            loaded = _disk_load(disk_path, inst)
+            if loaded is not None:
+                state, cost = loaded
+                _STATS.disk_hits += 1
+                _put(_OPTIMA, key, (scenario, state, cost))
+                return state.copy(), cost, 0.0, True
+            _STATS.disk_misses += 1
+        _STATS.optimum_misses += 1
         t0 = time.perf_counter()
         state = solve_optimal(inst, method=method, tol=tol)
         wall = time.perf_counter() - t0
         cost = state.total_cost()
         _put(_OPTIMA, key, (scenario, state, cost))
+        if disk_path is not None:
+            _disk_store(disk_path, state, cost)
         return state.copy(), cost, wall, False
 
 
@@ -142,10 +231,12 @@ def cache_stats() -> CacheStats:
 
 
 def clear_cache() -> None:
-    """Empty both caches and reset the counters (tests)."""
+    """Empty the in-process caches and reset the counters (tests).  The
+    on-disk tier is untouched — delete the directory to drop it."""
     _INSTANCES.clear()
     _OPTIMA.clear()
     with _LOCKS_GUARD:
         _KEY_LOCKS.clear()
     _STATS.instance_hits = _STATS.instance_misses = 0
     _STATS.optimum_hits = _STATS.optimum_misses = 0
+    _STATS.disk_hits = _STATS.disk_misses = 0

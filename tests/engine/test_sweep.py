@@ -170,3 +170,77 @@ class TestResume:
             decode=lambda p: p["value"],
         )
         assert again.run() == [9]
+
+
+class TestMerge:
+    def test_two_shard_union_covers_grid(self, tmp_path):
+        """The sharded-sweep workflow end to end: two engines, each owning
+        every 2nd pending cell and its own store; the merged store covers
+        the full grid with exactly the unsharded results."""
+        cells = list(range(10))
+        s1, s2 = tmp_path / "shard1.jsonl", tmp_path / "shard2.jsonl"
+        r1 = SweepEngine(_square, cells, store=s1, shard="1/2").run()
+        r2 = SweepEngine(_square, cells, store=s2, shard=(2, 2)).run()
+        # Each shard computed exactly its half, Nones elsewhere.
+        assert [x for x in r1 if x is not None] == [0, 4, 16, 36, 64]
+        assert [x for x in r2 if x is not None] == [1, 9, 25, 49, 81]
+        merged = JsonlStore.merge(s1, s2, out=tmp_path / "all.jsonl")
+        assert len(merged) == 10
+        # A coordinator run against the merged store executes nothing.
+        out = SweepEngine(_boom, cells, store=tmp_path / "all.jsonl").run()
+        assert out == [i * i for i in cells]
+
+    def test_merge_in_memory_reads_but_rejects_append(self, tmp_path):
+        s1 = JsonlStore(tmp_path / "a.jsonl")
+        s1.append("k1", 1)
+        s2 = JsonlStore(tmp_path / "b.jsonl")
+        s2.append("k1", 100)  # later path wins
+        s2.append("k2", 2)
+        merged = JsonlStore.merge(s1.path, s2.path)
+        assert merged.get("k1") == 100 and merged.get("k2") == 2
+        with pytest.raises(ValueError, match="in-memory"):
+            merged.append("k3", 3)
+
+    def test_merge_skips_missing_shards(self, tmp_path):
+        s1 = JsonlStore(tmp_path / "a.jsonl")
+        s1.append("k", 7)
+        merged = JsonlStore.merge(s1.path, tmp_path / "never-started.jsonl")
+        assert merged.get("k") == 7 and len(merged) == 1
+
+    def test_merged_out_store_is_appendable(self, tmp_path):
+        s1 = JsonlStore(tmp_path / "a.jsonl")
+        s1.append("k", 7)
+        merged = JsonlStore.merge(s1.path, out=tmp_path / "out.jsonl")
+        merged.append("k2", 8)
+        assert JsonlStore(tmp_path / "out.jsonl").load() == {"k": 7, "k2": 8}
+
+
+class TestShard:
+    def test_shards_partition_pending_cells(self, tmp_path):
+        cells = list(range(7))
+        owned = [
+            [i for i, r in enumerate(
+                SweepEngine(_square, cells, shard=(k, 3)).run())
+             if r is not None]
+            for k in (1, 2, 3)
+        ]
+        flat = [i for part in owned for i in part]
+        assert sorted(flat) == cells  # disjoint and complete
+        assert owned[0] == [0, 3, 6]
+
+    def test_shard_counts_over_pending_not_grid(self, tmp_path):
+        """Cells already in a shared store are excluded before the k/N
+        split, so shards stay balanced as the store fills up."""
+        store = JsonlStore(tmp_path / "shared.jsonl")
+        cells = list(range(6))
+        for i in (0, 1, 2):
+            store.append(repr(i), i * i)
+        out = SweepEngine(_square, cells, store=store, shard="1/2").run()
+        # Stored cells are returned regardless of shard; pending = [3,4,5],
+        # shard 1/2 owns [3, 5].
+        assert out == [0, 1, 4, 9, None, 25]
+
+    def test_bad_specs_rejected(self):
+        for spec in ("3/2", "0/2", "x/y", "1"):
+            with pytest.raises(ValueError):
+                SweepEngine(_square, [1], shard=spec)

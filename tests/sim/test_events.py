@@ -1,8 +1,11 @@
 """Tests for the discrete-event simulation engine."""
 
+import random
+import time
+
 import pytest
 
-from repro.sim.events import Environment
+from repro.sim.events import CalendarQueue, Environment, HeapQueue
 
 
 class TestTimeouts:
@@ -156,3 +159,194 @@ class TestEvents:
         env.process(bad())
         with pytest.raises(TypeError, match="yield Event"):
             env.run()
+
+
+class TestCallAt:
+    def test_callback_receives_value_at_time(self):
+        env = Environment()
+        got = []
+        env.call_at(2.5, lambda v: got.append((env.now, v)), "payload")
+        env.run()
+        assert got == [(2.5, "payload")]
+        assert env.processed == 1
+
+    def test_call_in_is_relative(self):
+        env = Environment()
+        got = []
+
+        def chain(i):
+            got.append((env.now, i))
+            if i < 3:
+                env.call_in(1.5, chain, i + 1)
+
+        env.call_in(1.0, chain, 0)
+        env.run()
+        assert got == [(1.0, 0), (2.5, 1), (4.0, 2), (5.5, 3)]
+
+    def test_past_and_negative_rejected(self):
+        env = Environment()
+        env.call_at(5.0, lambda _v: None)
+        env.run()
+        assert env.now == 5.0
+        with pytest.raises(ValueError):
+            env.call_at(4.0, lambda _v: None)
+        with pytest.raises(ValueError):
+            env.call_in(-1.0, lambda _v: None)
+
+    def test_orders_against_events_by_scheduling(self):
+        """Callbacks and process timeouts share one (time, seq) order.
+        A process's first timeout is scheduled at its zero-delay boot,
+        so a callback registered at setup time wins the t=1 tie; the
+        processes then fire in creation order."""
+        env = Environment()
+        order = []
+
+        def proc(tag):
+            yield env.timeout(1.0)
+            order.append(tag)
+
+        env.process(proc("proc-first"))
+        env.call_at(1.0, lambda _v: order.append("cb"))
+        env.process(proc("proc-second"))
+        env.run()
+        assert order == ["cb", "proc-first", "proc-second"]
+
+
+def _drive(scheduler: str, n_events: int = 6000, seed: int = 42):
+    """A stochastic self-rescheduling workload, including zero-delay
+    rescheduling storms (ties) and an until-bounded first phase."""
+    env = Environment(scheduler=scheduler)
+    log = []
+    rnd = random.Random(seed)
+
+    def tick(tag):
+        log.append((env.now, tag))
+        if len(log) < n_events:
+            delay = rnd.random() * (1.0 if tag % 3 else 0.0)
+            env.call_in(delay, tick, tag)
+
+    for t in range(250):
+        env.call_at(1.0, tick, t)  # massive tie at t = 1
+    env.run(until=300.0)
+    env.run()
+    return log, env.processed, env.now
+
+
+class TestSchedulerIdentity:
+    """The calendar queue pops in exactly the heap's (time, seq) order."""
+
+    def test_identical_event_traces(self):
+        heap = _drive("heap")
+        calendar = _drive("calendar")
+        assert heap == calendar
+
+    def test_auto_promotes_and_stays_identical(self, monkeypatch):
+        import repro.sim.events as events_mod
+
+        monkeypatch.setattr(events_mod, "CALENDAR_THRESHOLD", 1024)
+        auto = _drive("auto", n_events=4096)
+        heap = _drive("heap", n_events=4096)
+        assert auto == heap
+
+    def test_auto_promotion_trips_at_threshold(self, monkeypatch):
+        import repro.sim.events as events_mod
+
+        monkeypatch.setattr(events_mod, "CALENDAR_THRESHOLD", 500)
+        env = Environment()
+        assert env.scheduler_in_use == "heap"
+        for i in range(501):
+            env.call_at(1.0 + i * 0.25, lambda _v: None)
+        assert env.scheduler_in_use == "calendar"
+        assert env.queue_size == 501
+        env.run()
+        assert env.processed == 501
+
+    def test_explicit_schedulers_respected(self):
+        assert Environment(scheduler="heap").scheduler_in_use == "heap"
+        assert Environment(scheduler="calendar").scheduler_in_use == "calendar"
+        with pytest.raises(ValueError):
+            Environment(scheduler="fifo")
+
+
+class TestCalendarQueue:
+    def test_pop_order_matches_heap_on_random_entries(self):
+        rnd = random.Random(7)
+        entries = [
+            (rnd.choice([rnd.uniform(0, 100), float(rnd.randint(0, 20))]), seq)
+            for seq in range(5000)
+        ]
+        cq = CalendarQueue(entries)
+        hq = HeapQueue(entries)
+        out_c = [cq.pop() for _ in range(len(entries))]
+        out_h = [hq.pop() for _ in range(len(entries))]
+        assert out_c == out_h == sorted(entries)
+
+    def test_interleaved_push_pop(self):
+        rnd = random.Random(3)
+        cq, hq = CalendarQueue(), HeapQueue()
+        seq = 0
+        now = 0.0
+        for _ in range(4000):
+            if cq and rnd.random() < 0.5:
+                a, b = cq.pop(), hq.pop()
+                assert a == b
+                now = a[0]
+            else:
+                e = (now + rnd.uniform(0, 10), seq)
+                seq += 1
+                cq.push(e)
+                hq.push(e)
+        assert sorted(cq.entries()) == sorted(hq.entries())
+
+    def test_infinite_times_wait_in_overflow(self):
+        cq = CalendarQueue()
+        cq.push((float("inf"), 0))
+        cq.push((2.0, 1))
+        assert cq.pop() == (2.0, 1)
+        assert cq.peek() == (float("inf"), 0)
+        assert len(cq) == 1
+
+    def test_sparse_far_future_jump(self):
+        """Events far beyond the current lap are found via the direct
+        search, not an endless scan."""
+        cq = CalendarQueue([(0.5, 0)])
+        assert cq.pop() == (0.5, 0)
+        cq.push((1e9, 1))
+        assert cq.pop() == (1e9, 1)
+
+
+class TestDrainCallbacks:
+    def test_callbacks_appended_during_drain_run_same_pass(self):
+        env = Environment()
+        log = []
+        ev = env.event()
+
+        def chain(e, depth=0):
+            log.append(depth)
+            if depth < 5:
+                nxt = env.event()
+                nxt.add_callback(lambda e2, d=depth + 1: chain(e2, d))
+                nxt.succeed()
+
+        ev.add_callback(chain)
+        ev.succeed()
+        env.run()
+        assert log == [0, 1, 2, 3, 4, 5]
+
+    def test_drain_is_linear_not_quadratic(self):
+        """Regression: the pop(0)-per-callback drain was O(n²) — 40k
+        simultaneously-triggered callbacks took tens of seconds."""
+        env = Environment()
+        hits = []
+        events = [env.event() for _ in range(40_000)]
+        for ev in events:
+            ev.add_callback(lambda e: hits.append(1))
+        t0 = time.perf_counter()
+        for ev in events:
+            ev.succeed()
+        env.run()
+        elapsed = time.perf_counter() - t0
+        assert len(hits) == 40_000
+        # Linear drain finishes in well under a second even on slow CI;
+        # the quadratic one needs > 30 s for this size.
+        assert elapsed < 5.0

@@ -114,3 +114,78 @@ class TestRunnerIntegration:
         assert cache_stats().optimum_misses == misses
         assert cache_stats().optimum_hits >= 2
         assert first == second
+
+
+class TestDiskTier:
+    def test_second_process_would_skip_the_solve(self, tmp_path):
+        """A cleared in-process memo (= a fresh process / another shard)
+        is served from the npz tier instead of re-solving."""
+        from repro.workloads import get_cache_dir, set_cache_dir
+        from repro.workloads.cache import cache_stats
+
+        sc = get_scenario("paper-homogeneous")
+        prev = set_cache_dir(tmp_path)
+        try:
+            clear_cache()
+            st1, cost1, wall1, hit1 = cached_optimum(sc, 10, 0)
+            assert not hit1 and cache_stats().disk_misses == 1
+            assert len(list(tmp_path.glob("*.npz"))) == 1
+            clear_cache()  # simulate a different process
+            st2, cost2, wall2, hit2 = cached_optimum(sc, 10, 0)
+            assert hit2 and wall2 == 0.0
+            assert cache_stats().disk_hits == 1
+            assert cache_stats().optimum_misses == 0
+            assert cost2 == cost1
+            np.testing.assert_array_equal(st1.R, st2.R)
+            assert get_cache_dir() == str(tmp_path)
+        finally:
+            set_cache_dir(prev)
+            clear_cache()
+
+    def test_solver_params_and_instance_digest_in_file_name(self, tmp_path):
+        from repro.workloads import set_cache_dir
+
+        sc = get_scenario("paper-homogeneous")
+        prev = set_cache_dir(tmp_path)
+        try:
+            clear_cache()
+            cached_optimum(sc, 10, 0)
+            cached_optimum(sc, 10, 0, tol=1e-6)   # different tolerance
+            cached_optimum(sc, 10, 1)             # different seed
+            assert len(list(tmp_path.glob("*.npz"))) == 3
+        finally:
+            set_cache_dir(prev)
+            clear_cache()
+
+    def test_corrupt_file_falls_back_to_solving(self, tmp_path):
+        from repro.workloads import set_cache_dir
+        from repro.workloads.cache import _disk_path
+
+        sc = get_scenario("paper-homogeneous")
+        prev = set_cache_dir(tmp_path)
+        try:
+            clear_cache()
+            inst = cached_instance(sc, 10, 0)
+            path = _disk_path(sc, inst, 10, 0, 1e-9, "auto")
+            with open(path, "wb") as fh:
+                fh.write(b"not an npz")
+            clear_cache()
+            st, cost, _, hit = cached_optimum(sc, 10, 0)
+            assert not hit  # solved fresh, did not crash
+            assert cost > 0
+        finally:
+            set_cache_dir(prev)
+            clear_cache()
+
+    def test_disabled_tier_writes_nothing(self, tmp_path):
+        from repro.workloads import get_cache_dir, set_cache_dir
+
+        prev = set_cache_dir(None)
+        try:
+            clear_cache()
+            assert get_cache_dir() is None
+            cached_optimum(get_scenario("paper-homogeneous"), 10, 0)
+            assert list(tmp_path.glob("*.npz")) == []
+        finally:
+            set_cache_dir(prev)
+            clear_cache()
