@@ -1,11 +1,11 @@
 #!/usr/bin/env python
 """Perf-regression gate: fresh ``BENCH_*.json`` vs the committed baseline.
 
-Run *after* the benchmark suite has rewritten ``benchmarks/BENCH_events.json``
-and ``benchmarks/BENCH_livesim.json`` in the working tree.  Every events/s
-metric present in both the fresh file and the committed (``git show
-HEAD:...``) baseline is compared; the script fails (exit 1) if any metric
-regresses by more than ``--threshold`` (default 30 %).
+Run *after* the benchmark suite has rewritten ``benchmarks/BENCH_events.json``,
+``benchmarks/BENCH_livesim.json`` and ``benchmarks/BENCH_tracking.json`` in
+the working tree.  Every events/s metric present in both the fresh file and
+the committed (``git show HEAD:...``) baseline is compared; the script fails
+(exit 1) if any metric regresses by more than ``--threshold`` (default 30 %).
 
 Machines differ: both BENCH files carry a ``calibration_ops_per_sec``
 constant (a plain-python loop measured in the same run), and each baseline
@@ -28,7 +28,7 @@ import sys
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
-FILES = ("BENCH_events.json", "BENCH_livesim.json")
+FILES = ("BENCH_events.json", "BENCH_livesim.json", "BENCH_tracking.json")
 
 
 def committed(name: str, ref: str) -> dict | None:

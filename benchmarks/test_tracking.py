@@ -1,0 +1,251 @@
+"""Tracking-plane acceptance + throughput bench — ``BENCH_tracking.json``.
+
+Three benches cover the ``repro.tracking`` acceptance criteria:
+
+* :func:`test_tracking_trace_families` — on every built-in trace family
+  the live control plane (lossy preset, delta gossip) re-tracks to the
+  paper's 2 % bound after every epoch shift; per-family regret,
+  retrack-time and events/s rows feed the perf gate.
+* :func:`test_tracking_warm_vs_cold_m500` — the stateful-solver
+  acceptance case: on a drifting m = 500 fleet the warm-start solver
+  re-tracks each epoch with **≥3x fewer exchanges** than the
+  cold-restart control, and the live m = 500 lossy plane re-tracks every
+  epoch too.
+* :func:`test_delta_gossip_payload_m2000` — the wire-format acceptance
+  case: at m = 2000 (lossy preset, including a mid-run demand shift)
+  delta gossip is bit-identical to full-table gossip while shipping
+  **≤20 % of its payload bytes**.
+
+Measurements land in ``benchmarks/BENCH_tracking.json``;
+``benchmarks/check_perf.py`` gates the events/s figures against the
+committed baseline (calibration-normalized).  ``REPRO_FULL=1`` scales
+the family grid to native scenario sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+
+import numpy as np
+
+from repro.livesim import LiveSimulation, get_live_preset
+from repro.tracking import TrackingSimulation, tracking_sweep, trace_epochs
+from repro.workloads import cached_instance, get_scenario
+
+from .conftest import full_run, merge_bench
+
+REL_TOL = 0.02  # the paper's Table I convergence bound
+
+#: family -> scenario whose topology/speeds host the trace
+FAMILY_SCENARIOS = {
+    "drift": "regional-surge",
+    "regime": "cdn-flashcrowd",
+    "flash-replay": "paper-planetlab",
+    "diurnal": "federation-diurnal",
+}
+
+#: m = 500 stateful-solver acceptance case
+M500 = 500
+M500_TRACE = "drift-mild"
+WARM_VS_COLD_MIN_RATIO = 3.0
+
+#: m = 2000 delta-gossip acceptance case
+M2000 = 2000
+M2000_ROUNDS = 4           #: rounds before and after the demand shift
+DELTA_MAX_BYTES_FRACTION = 0.20
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_tracking.json"
+
+
+def _merge_bench(section: str, payload: dict) -> None:
+    merge_bench(BENCH_PATH, section, payload)
+
+
+def test_tracking_trace_families():
+    m = None if full_run() else 16
+    cfg = dataclasses.replace(get_live_preset("lossy"), gossip_mode="delta")
+    rows = {}
+    for family, sc_name in FAMILY_SCENARIOS.items():
+        sc = get_scenario(sc_name)
+        size = sc.m if m is None else m
+        inst = cached_instance(sc, size, 0)
+        sim = TrackingSimulation(inst, family, config=cfg, seed=0, rel_tol=REL_TOL)
+        report = sim.run()
+
+        stuck = [
+            e.index for e in report.epochs if not np.isfinite(e.retrack_rounds)
+        ]
+        assert report.all_retracked(), (
+            f"{family}: epochs {stuck} never re-tracked to {REL_TOL:.0%}"
+        )
+        assert report.mean_final_error <= REL_TOL
+
+        rows[family] = {
+            "scenario": sc_name,
+            "m": size,
+            "epochs": len(report.epochs),
+            "mean_final_error": report.mean_final_error,
+            "max_final_error": report.max_final_error,
+            "mean_retrack_rounds": float(
+                np.mean([e.retrack_rounds for e in report.epochs])
+            ),
+            "max_retrack_rounds": float(
+                np.max([e.retrack_rounds for e in report.epochs])
+            ),
+            "mean_regret": float(np.mean([e.mean_regret for e in report.epochs])),
+            "cumulative_excess_cost": report.cumulative_excess_cost,
+            "total_exchanges": report.total_exchanges,
+            "events_per_sec": report.live.events_per_sec,
+            "payload_bytes": report.live.gossip.payload_bytes,
+            "per_epoch": [
+                {
+                    "optimum": e.optimum_cost,
+                    "start_error": e.start_error,
+                    "final_error": e.final_error,
+                    "retrack_rounds": e.retrack_rounds,
+                    "exchanges": e.exchanges,
+                }
+                for e in report.epochs
+            ],
+        }
+        print(
+            f"  {family:<14} m={size:<4d} epochs={len(report.epochs):<3d} "
+            f"retrack={rows[family]['mean_retrack_rounds']:5.1f}r "
+            f"err={report.mean_final_error:.2e} "
+            f"ev/s={report.live.events_per_sec:9.0f}"
+        )
+
+    _merge_bench("families", {"rel_tol": REL_TOL, "presets": rows})
+
+
+def test_tracking_warm_vs_cold_m500():
+    """Warm-start vs cold-restart stateful solvers on a drifting m = 500
+    fleet, plus the live lossy plane re-tracking the same trace."""
+    sc = get_scenario("regional-surge")
+
+    # Offline plane: the two stateful solvers through the sweep engine.
+    rows = tracking_sweep(
+        [sc], traces=[M500_TRACE], sizes=[M500], seeds=[0],
+        solvers=("mine-warm", "mine-cold"), rel_tol=REL_TOL, max_sweeps=40,
+    )
+    warm, cold = rows
+    assert warm["all_retracked"], "warm-start failed to re-track an epoch"
+    assert cold["all_retracked"], "cold-restart failed to re-track an epoch"
+    ratio = cold["mean_step_exchanges"] / warm["mean_step_exchanges"]
+    assert ratio >= WARM_VS_COLD_MIN_RATIO, (
+        f"warm-start used {warm['mean_step_exchanges']:.0f} exchanges per "
+        f"epoch shift vs cold's {cold['mean_step_exchanges']:.0f} — only "
+        f"{ratio:.2f}x better (need >= {WARM_VS_COLD_MIN_RATIO}x)"
+    )
+
+    # Live plane: event-driven agents on the same trace, lossy preset,
+    # delta gossip, screened proposals (the fleet-scale configuration).
+    cfg = dataclasses.replace(
+        get_live_preset("lossy"), gossip_mode="delta", agent_strategy="screened"
+    )
+    inst = cached_instance(sc, M500, 0)
+    sim = TrackingSimulation(inst, M500_TRACE, config=cfg, seed=0, rel_tol=REL_TOL)
+    report = sim.run()
+    assert report.all_retracked(), (
+        "live m=500 lossy plane failed to re-track after a shift"
+    )
+
+    _merge_bench(
+        "warmcold_m500",
+        {
+            "scenario": sc.name,
+            "m": M500,
+            "trace": M500_TRACE,
+            "rel_tol": REL_TOL,
+            "warm_step_exchanges": warm["mean_step_exchanges"],
+            "cold_step_exchanges": cold["mean_step_exchanges"],
+            "exchange_ratio": ratio,
+            "warm_mean_error": warm["mean_error"],
+            "cold_mean_error": cold["mean_error"],
+            "warm_wall_s": warm["solve_wall_s"],
+            "cold_wall_s": cold["solve_wall_s"],
+            "live_preset": "lossy+delta",
+            "live_mean_retrack_rounds": float(
+                np.mean([e.retrack_rounds for e in report.epochs])
+            ),
+            "live_mean_final_error": report.mean_final_error,
+            "live_events_per_sec": report.live.events_per_sec,
+        },
+    )
+    print(
+        f"  m=500 {M500_TRACE}: warm {warm['mean_step_exchanges']:.0f} vs "
+        f"cold {cold['mean_step_exchanges']:.0f} exchanges/shift "
+        f"({ratio:.1f}x); live retrack "
+        f"{np.mean([e.retrack_rounds for e in report.epochs]):.1f} rounds"
+    )
+
+
+def test_delta_gossip_payload_m2000():
+    """Full vs delta wire format at m = 2000 across a demand shift:
+    bit-identical behavior, ≤20 % of the payload bytes."""
+    sc = get_scenario("regional-surge")
+    inst = cached_instance(sc, M2000, 0)
+    shifted = next(
+        loads for t, loads in trace_epochs("drift-mild", M2000, 0) if t > 0
+    )
+    base_cfg = get_live_preset("lossy")
+
+    reports = {}
+    for mode in ("full", "delta"):
+        cfg = dataclasses.replace(base_cfg, gossip_mode=mode)
+        sim = LiveSimulation(inst, config=cfg, seed=0)
+        sim.run(rounds=M2000_ROUNDS)
+        pre_bytes = sim.gossip.stats.payload_bytes
+        sim.apply_demand(shifted)
+        report = sim.run(rounds=M2000_ROUNDS)
+        reports[mode] = {
+            "payload_bytes": report.gossip.payload_bytes,
+            "payload_bytes_post_shift": report.gossip.payload_bytes - pre_bytes,
+            "payload_entries": report.gossip.payload_entries,
+            "events_processed": report.events_processed,
+            "events_per_sec": report.events_per_sec,
+            "trace": report.trace,
+            "R": sim.state.R.copy(),
+            "values": np.asarray(sim.gossip.values).copy(),
+        }
+        del sim  # 100+ MB of gossip tables per mode: free eagerly
+
+    full, delta = reports["full"], reports["delta"]
+    assert full["trace"] == delta["trace"], "delta diverged from full mode"
+    np.testing.assert_array_equal(full["R"], delta["R"])
+    np.testing.assert_array_equal(full["values"], delta["values"])
+    frac = delta["payload_bytes"] / full["payload_bytes"]
+    assert frac <= DELTA_MAX_BYTES_FRACTION, (
+        f"delta gossip shipped {frac:.1%} of full-table payload bytes "
+        f"(bound {DELTA_MAX_BYTES_FRACTION:.0%})"
+    )
+
+    _merge_bench(
+        "delta_gossip_m2000",
+        {
+            "scenario": sc.name,
+            "m": M2000,
+            "preset": "lossy",
+            "rounds": 2 * M2000_ROUNDS,
+            "demand_shift_trace": M500_TRACE,
+            "payload_bytes_full": full["payload_bytes"],
+            "payload_bytes_delta": delta["payload_bytes"],
+            "payload_fraction": frac,
+            "payload_fraction_post_shift": (
+                delta["payload_bytes_post_shift"]
+                / full["payload_bytes_post_shift"]
+            ),
+            "payload_entries_full": full["payload_entries"],
+            "payload_entries_delta": delta["payload_entries"],
+            "events_per_sec_full": full["events_per_sec"],
+            "events_per_sec_delta": delta["events_per_sec"],
+        },
+    )
+    print(
+        f"  m=2000 lossy: delta ships {frac:.1%} of full payload bytes "
+        f"({delta['payload_bytes'] / 2**20:.0f} vs "
+        f"{full['payload_bytes'] / 2**20:.0f} MiB across "
+        f"{2 * M2000_ROUNDS} rounds + demand shift); "
+        f"ev/s {delta['events_per_sec']:.0f} vs {full['events_per_sec']:.0f}"
+    )

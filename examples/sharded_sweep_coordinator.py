@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Sharded sweeps end to end: N worker processes, one merged store.
+
+The PR-4 sharding mechanism in one runnable walkthrough:
+
+1. the coordinator launches N copies of *this script* as workers, each
+   with ``--shard k/N`` and its own ``--store shard-k.jsonl`` — every
+   worker executes only its slice of the pending cells (the same flags
+   every ``results/`` script accepts, so the workers could just as well
+   be N different machines sharing nothing but the grid definition);
+2. each worker appends finished cells to its crash-safe JSONL store;
+3. the coordinator stitches the shard stores with
+   ``JsonlStore.merge(*paths, out=...)`` and re-runs the sweep against
+   the merged store — every cell is already present, so the final pass
+   is pure cache reads that yield the full result table.
+
+The grid here is a tracking sweep (scenario × trace × stateful solver),
+but any SweepEngine-based sweep shards the same way.
+
+Run: python examples/sharded_sweep_coordinator.py
+(set REPRO_EXAMPLE_M to scale the fleet, e.g. the test suite uses 8)
+"""
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+from repro.engine import JsonlStore
+from repro.tracking import tracking_sweep
+
+SCENARIOS = ["paper-planetlab", "federation-diurnal"]
+TRACES = ["drift"]
+SOLVERS = ("mine-warm", "mine-cold")
+SEEDS = (0,)
+N_SHARDS = 2
+
+
+def run_sweep(m: int, store, shard=None):
+    return tracking_sweep(
+        SCENARIOS,
+        traces=TRACES,
+        solvers=SOLVERS,
+        sizes=[m],
+        seeds=SEEDS,
+        max_sweeps=30,
+        store=store,
+        shard=shard,
+    )
+
+
+def worker(m: int, store: str, shard: str) -> None:
+    rows = run_sweep(m, store, shard=shard)
+    done = sum(r is not None for r in rows)
+    print(f"[worker {shard}] computed {done} of {len(rows)} cells -> {store}")
+
+
+def coordinator(m: int) -> None:
+    total = len(SCENARIOS) * len(TRACES) * len(SOLVERS) * len(SEEDS)
+    print(f"sharded sweep: {total} cells over {N_SHARDS} local workers\n")
+    with tempfile.TemporaryDirectory(prefix="sharded-sweep-") as tmp:
+        tmp = pathlib.Path(tmp)
+        shard_stores = [tmp / f"shard-{k}.jsonl" for k in range(1, N_SHARDS + 1)]
+
+        # 1. Launch the workers: this same script, one shard each.  A
+        # real deployment would run these on N machines; the flags are
+        # identical.
+        env = dict(os.environ, REPRO_EXAMPLE_M=str(m))
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        if src.is_dir():
+            env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+        procs = [
+            subprocess.Popen(
+                [sys.executable, __file__,
+                 "--shard", f"{k}/{N_SHARDS}", "--store", str(path)],
+                env=env,
+            )
+            for k, path in enumerate(shard_stores, start=1)
+        ]
+        for proc in procs:
+            proc.wait()
+            if proc.returncode != 0:
+                raise SystemExit(f"worker failed with rc={proc.returncode}")
+
+        # 2. Stitch the shard stores into one.
+        merged_path = tmp / "merged.jsonl"
+        merged = JsonlStore.merge(*shard_stores, out=merged_path)
+        print(f"\nmerged {N_SHARDS} shard stores -> {len(merged)} cells")
+        assert len(merged) == total, "shards did not cover the whole grid"
+
+        # 3. Aggregate: re-run against the merged store — all cells hit
+        # the cache, so this is instant and yields the full table.
+        rows = run_sweep(m, merged_path)
+        print(f"\n{'scenario':<22} {'solver':<10} {'exch/shift':>10} "
+              f"{'mean err':>10} {'retracked':>10}")
+        for r in rows:
+            print(f"{r['scenario']:<22} {r['solver']:<10} "
+                  f"{r['mean_step_exchanges']:>10.1f} {r['mean_error']:>10.2e} "
+                  f"{r['retracked_epochs']:>6}/{r['epochs']}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shard", default=None, metavar="K/N",
+                        help="worker mode: compute only this shard's cells")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="worker mode: JSONL store to append results to")
+    # parse_known_args: the smoke tests execute this file via runpy with
+    # the test runner's own flags still in sys.argv.
+    args, _ = parser.parse_known_args()
+    m = int(os.environ.get("REPRO_EXAMPLE_M", "14"))
+    if args.shard is not None:
+        if args.store is None:
+            parser.error("--shard requires --store")
+        worker(m, args.store, args.shard)
+    else:
+        coordinator(m)
+
+
+if __name__ == "__main__":
+    main()

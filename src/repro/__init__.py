@@ -58,10 +58,13 @@ from .engine import (
     SweepEngine,
     get_evaluator,
     get_solver,
+    get_stateful_solver,
     list_evaluators,
     list_solvers,
+    list_stateful_solvers,
     register_evaluator,
     register_solver,
+    register_stateful_solver,
 )
 from .flow import (
     min_cost_flow,
@@ -86,6 +89,14 @@ from .net import (
     random_speeds,
 )
 from .sim import simulate_snapshot, simulate_stream
+from .tracking import (
+    TrackingReport,
+    TrackingSimulation,
+    get_trace,
+    list_traces,
+    register_trace,
+    tracking_sweep,
+)
 from .workloads import (
     Scenario,
     ScenarioReport,
@@ -133,5 +144,14 @@ __all__ = list(_core_all) + [
     "LIVE_PRESETS",
     "get_live_preset",
     "live_sweep",
+    "register_stateful_solver",
+    "get_stateful_solver",
+    "list_stateful_solvers",
+    "TrackingSimulation",
+    "TrackingReport",
+    "register_trace",
+    "get_trace",
+    "list_traces",
+    "tracking_sweep",
     "__version__",
 ]

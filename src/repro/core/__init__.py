@@ -28,7 +28,15 @@ from .distributed import (
     batch_exchange_stats,
     best_partner_exact,
 )
-from .dynamic import DynamicBalancer, EpochRecord, LoadProcess
+from .dynamic import (
+    DynamicBalancer,
+    EpochRecord,
+    LoadProcess,
+    ReoptimizeResult,
+    reoptimize,
+    retarget_allocation,
+    retarget_rows,
+)
 from .error_bound import delta_r, error_bound, pending_transfer_volumes
 from .game import (
     BestResponseTrace,
@@ -137,4 +145,8 @@ __all__ = [
     "LoadProcess",
     "DynamicBalancer",
     "EpochRecord",
+    "retarget_rows",
+    "retarget_allocation",
+    "ReoptimizeResult",
+    "reoptimize",
 ]

@@ -524,8 +524,16 @@ class MinEOptimizer:
         self._Rt[j] = ex.col_j
         return ex
 
-    def sweep(self) -> SweepStats:
-        """One iteration: every server acts once, in random order."""
+    def sweep(self, *, max_exchanges: int | None = None) -> SweepStats:
+        """One iteration: every server acts once, in random order.
+
+        ``max_exchanges`` truncates the iteration once that many
+        exchanges have applied — the hard per-sweep cap behind
+        exchange-budgeted incremental re-solves
+        (:func:`repro.core.dynamic.reoptimize`).  The server order is
+        drawn identically either way, so a truncated sweep is a prefix
+        of the unbounded one.
+        """
         cost_before = self.state.total_cost()
         order = self.rng.permutation(self.state.inst.m)
         self._snapshot_loads = (
@@ -534,6 +542,8 @@ class MinEOptimizer:
         moved = 0.0
         exchanges = 0
         for i in order:
+            if max_exchanges is not None and exchanges >= max_exchanges:
+                break
             ex = self.step(int(i))
             if ex is not None:
                 moved += ex.moved

@@ -33,12 +33,17 @@ from .backends import BACKENDS, resolve_workers, run_cells
 from .registry import (
     FunctionSolver,
     Solver,
+    StatefulSolver,
+    StatefulSolverEntry,
     get_evaluator,
     get_solver,
+    get_stateful_solver,
     list_evaluators,
     list_solvers,
+    list_stateful_solvers,
     register_evaluator,
     register_solver,
+    register_stateful_solver,
 )
 from .result import SolveResult
 from .store import JsonlStore
@@ -54,6 +59,11 @@ __all__ = [
     "register_evaluator",
     "get_evaluator",
     "list_evaluators",
+    "StatefulSolver",
+    "StatefulSolverEntry",
+    "register_stateful_solver",
+    "get_stateful_solver",
+    "list_stateful_solvers",
     "BACKENDS",
     "run_cells",
     "resolve_workers",

@@ -19,6 +19,18 @@ top of an allocation rather than producing one — e.g. the discrete-event
 stream simulation (``"stream"``) and the snapshot validation
 (``"snapshot"``).  Evaluators take ``(inst, state)`` and return a flat
 ``dict`` of scalars.
+
+A third registry covers *stateful* solvers — algorithms that track a
+non-stationary workload by carrying their allocation from one demand
+epoch to the next instead of solving each epoch from scratch.  A
+registered entry is a session *factory*: calling it yields a fresh
+:class:`StatefulSolver` whose ``start(inst)`` initializes on the first
+epoch and whose ``step(inst)`` re-solves after a demand shift (both
+return ordinary :class:`SolveResult` rows, so load-trace sweeps run
+through :class:`~repro.engine.sweep.SweepEngine` and
+:class:`~repro.engine.store.JsonlStore` unchanged).  The built-in
+sessions (warm-start incremental MinE and the cold-restart baseline)
+register themselves from :mod:`repro.tracking.solvers`.
 """
 
 from __future__ import annotations
@@ -47,6 +59,11 @@ __all__ = [
     "register_evaluator",
     "get_evaluator",
     "list_evaluators",
+    "StatefulSolver",
+    "StatefulSolverEntry",
+    "register_stateful_solver",
+    "get_stateful_solver",
+    "list_stateful_solvers",
 ]
 
 @runtime_checkable
@@ -121,6 +138,27 @@ class FunctionSolver:
 _SOLVERS: dict[str, FunctionSolver] = {}
 
 
+def _registry_add(
+    registry: dict, kind_label: str, name: str, entry, overwrite: bool
+) -> None:
+    """Shared duplicate guard of all three registries in this module."""
+    if not overwrite and name in registry:
+        raise ValueError(
+            f"{kind_label} {name!r} is already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    registry[name] = entry
+
+
+def _registry_get(registry: dict, kind_label: str, name: str):
+    """Shared lookup (unknown names list what *is* registered)."""
+    try:
+        return registry[name]
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise KeyError(f"unknown {kind_label} {name!r}; registered: {known}") from None
+
+
 def register_solver(
     name: str,
     fn: SolverFn | None = None,
@@ -132,13 +170,8 @@ def register_solver(
     """Register ``fn`` under ``name``; usable directly or as a decorator."""
 
     def _register(f: SolverFn) -> FunctionSolver:
-        if not overwrite and name in _SOLVERS:
-            raise ValueError(
-                f"solver {name!r} is already registered "
-                "(pass overwrite=True to replace it)"
-            )
         solver = FunctionSolver(name=name, fn=f, kind=kind, description=description)
-        _SOLVERS[name] = solver
+        _registry_add(_SOLVERS, "solver", name, solver, overwrite)
         return solver
 
     return _register if fn is None else _register(fn)
@@ -146,11 +179,7 @@ def register_solver(
 
 def get_solver(name: str) -> FunctionSolver:
     """Look up a registered solver by name."""
-    try:
-        return _SOLVERS[name]
-    except KeyError:
-        known = ", ".join(sorted(_SOLVERS))
-        raise KeyError(f"unknown solver {name!r}; registered: {known}") from None
+    return _registry_get(_SOLVERS, "solver", name)
 
 
 def list_solvers(kind: str | None = None) -> dict[str, str]:
@@ -272,6 +301,83 @@ del _name, _fn, _desc
 
 
 # ----------------------------------------------------------------------
+# Stateful solvers: sessions tracking a non-stationary workload
+# ----------------------------------------------------------------------
+@runtime_checkable
+class StatefulSolver(Protocol):
+    """A solver session that carries state across demand epochs.
+
+    ``start`` initializes the session on the first epoch's instance and
+    returns its :class:`SolveResult`; each ``step`` receives the *next*
+    epoch's instance (same servers, new demand) and re-solves from
+    whatever the session kept — typically the previous allocation.
+    ``optimum`` (the epoch's offline optimum cost) enables solving only
+    down to a relative bound instead of to stall.
+    """
+
+    name: str
+
+    def start(
+        self,
+        inst: Instance,
+        *,
+        rng: np.random.Generator | int | None = None,
+        optimum: float | None = None,
+        **options,
+    ) -> SolveResult: ...
+
+    def step(
+        self, inst: Instance, *, optimum: float | None = None, **options
+    ) -> SolveResult: ...
+
+
+@dataclass(frozen=True)
+class StatefulSolverEntry:
+    """A registered stateful-solver factory; call it for a fresh session."""
+
+    name: str
+    factory: Callable[..., StatefulSolver] = field(compare=False)
+    kind: str = "tracking"
+    description: str = field(default="", compare=False)
+
+    def __call__(self, **options) -> StatefulSolver:
+        return self.factory(**options)
+
+
+_STATEFUL: dict[str, StatefulSolverEntry] = {}
+
+
+def register_stateful_solver(
+    name: str,
+    factory: Callable[..., StatefulSolver] | None = None,
+    *,
+    kind: str = "tracking",
+    description: str = "",
+    overwrite: bool = False,
+) -> "Callable[[Callable], StatefulSolverEntry] | StatefulSolverEntry":
+    """Register a session factory under ``name``; direct or decorator use."""
+
+    def _register(f: Callable[..., StatefulSolver]) -> StatefulSolverEntry:
+        entry = StatefulSolverEntry(
+            name=name, factory=f, kind=kind, description=description
+        )
+        _registry_add(_STATEFUL, "stateful solver", name, entry, overwrite)
+        return entry
+
+    return _register if factory is None else _register(factory)
+
+
+def get_stateful_solver(name: str) -> StatefulSolverEntry:
+    """Look up a registered stateful-solver factory by name."""
+    return _registry_get(_STATEFUL, "stateful solver", name)
+
+
+def list_stateful_solvers() -> dict[str, str]:
+    """``{name: description}`` for every registered stateful solver."""
+    return {n: e.description for n, e in sorted(_STATEFUL.items())}
+
+
+# ----------------------------------------------------------------------
 # Evaluators: metrics computed on top of an existing allocation
 # ----------------------------------------------------------------------
 EvaluatorFn = Callable[..., dict]
@@ -290,12 +396,7 @@ def register_evaluator(
     evaluator; usable directly or as a decorator."""
 
     def _register(f: EvaluatorFn) -> EvaluatorFn:
-        if not overwrite and name in _EVALUATORS:
-            raise ValueError(
-                f"evaluator {name!r} is already registered "
-                "(pass overwrite=True to replace it)"
-            )
-        _EVALUATORS[name] = (f, description)
+        _registry_add(_EVALUATORS, "evaluator", name, (f, description), overwrite)
         return f
 
     return _register if fn is None else _register(fn)
@@ -303,11 +404,7 @@ def register_evaluator(
 
 def get_evaluator(name: str) -> EvaluatorFn:
     """Look up a registered evaluator by name."""
-    try:
-        return _EVALUATORS[name][0]
-    except KeyError:
-        known = ", ".join(sorted(_EVALUATORS))
-        raise KeyError(f"unknown evaluator {name!r}; registered: {known}") from None
+    return _registry_get(_EVALUATORS, "evaluator", name)[0]
 
 
 def list_evaluators() -> dict[str, str]:

@@ -47,7 +47,7 @@ from .driver import (
     LiveSimulation,
     get_live_preset,
 )
-from .gossip import AsyncGossip, GossipStats
+from .gossip import GOSSIP_MODES, AsyncGossip, GossipStats
 from .net import ControlNetwork, NetStats
 from .sweep import LiveCell, evaluate_live_cell, live_sweep
 
@@ -59,6 +59,7 @@ __all__ = [
     "get_live_preset",
     "AsyncGossip",
     "GossipStats",
+    "GOSSIP_MODES",
     "ExchangeAgents",
     "AgentStats",
     "ControlNetwork",

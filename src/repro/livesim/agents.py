@@ -184,6 +184,38 @@ class ExchangeAgents:
         self._state_version += 1
         self._Rt = np.ascontiguousarray(self.state.R.T)
 
+    def notify_demand_changed(self) -> None:
+        """React to a demand shift (the tracking plane swapped the
+        instance and retargeted the allocation): refresh everything that
+        depends on the loads — the owner set, the strategy choice, the
+        owner-sliced static caches — and reset every back-off so the
+        fleet re-tracks the new optimum at full proposal rate."""
+        state = self.state
+        m = state.inst.m
+        new_owners = np.flatnonzero(state.inst.loads > 0)
+        owners_changed = not np.array_equal(new_owners, self.owners)
+        self.owners = new_owners
+        self._state_version += 1
+        self._Rt = np.ascontiguousarray(state.R.T)
+        h = max(1, new_owners.size)
+        use_exact = self.strategy == "exact" or (
+            self.strategy == "auto" and h * m <= EXACT_BUDGET
+        )
+        if use_exact:
+            if self._Ct is None:
+                self._Ct = np.ascontiguousarray(state.inst.latency.T)
+            if owners_changed or self._order_cache is None:
+                # The cached argsorts and latency slices are taken over
+                # the owner set; a changed owner set invalidates them.
+                caches_ok = static_caches_enabled(m, h)
+                self._order_cache = {} if caches_ok else None
+                self._static_cache = {} if caches_ok else None
+        else:
+            self._order_cache = None
+            self._static_cache = None
+        self._use_exact = use_exact
+        self.backoff = [1.0] * m
+
     def _record(self, *entry) -> None:
         if self.trace is not None:
             self.trace.append(entry)

@@ -90,6 +90,10 @@ class LiveConfig:
     #: Set 0 to propose down to the absolute ``min_improvement``.
     min_improvement_rel: float = 3e-4
     arrival_rate_scale: float = 0.0
+    #: Gossip wire format: ``"full"`` ships whole tables, ``"delta"``
+    #: ships version-vector diffs (O(changes) payloads, bit-identical
+    #: merge results — see :mod:`repro.livesim.gossip`).
+    gossip_mode: str = "full"
     #: Partner-selection strategy of the agents ("auto" = exact on small
     #: fleets, O(m) screened beyond ``EXACT_BUDGET``) and the screened
     #: candidate count.
@@ -172,6 +176,7 @@ class LiveReport:
     requests_submitted: int = 0
     requests_completed: int = 0
     requests_failed: int = 0
+    requests_resubmitted: int = 0  #: dropped by a crash, re-sent by owners
     request_mean_latency: float = float("nan")
     trace: list = field(default_factory=list, repr=False)
 
@@ -298,6 +303,7 @@ class LiveSimulation:
             self.alive,
             gossip_par.spawn(m),
             interval=cfg.gossip_interval,
+            mode=cfg.gossip_mode,
         )
         initial_cost = self.state.total_cost()
         self.agents = ExchangeAgents(
@@ -335,20 +341,25 @@ class LiveSimulation:
         self._requests: list[Request] = []
         self._requests_generated = 0
         self._requests_failed = 0
+        self._requests_resubmitted = 0
         if cfg.arrival_rate_scale > 0:
             self.servers = [
                 SimServer(self.env, j, float(inst.speeds[j])) for j in range(m)
             ]
             self._traffic_rngs: dict[int, np.random.Generator] = {}
+            # Seeds are kept for all organizations: a demand shift can
+            # hand load (and thus an arrival process) to an org that
+            # started at zero, whose stream must still be deterministic.
+            self._traffic_seeds = traffic_par.spawn(m)
             self._traffic_rates = inst.loads * cfg.arrival_rate_scale
-            for i, child in enumerate(traffic_par.spawn(m)):
+            # One self-re-arming loop per org, never more: a loop whose
+            # rate dropped to zero stays "armed" until its pending
+            # callback fires and retires it, and apply_demand must not
+            # arm a second one in the meantime.
+            self._traffic_armed = np.zeros(m, dtype=bool)
+            for i in range(m):
                 if self._traffic_rates[i] > 0:
-                    rng = np.random.default_rng(child)
-                    self._traffic_rngs[i] = rng
-                    self.env.call_in(
-                        rng.exponential(1.0 / self._traffic_rates[i]),
-                        self._traffic_fire, i,
-                    )
+                    self._start_traffic(i)
         else:
             self.servers = []
 
@@ -375,6 +386,13 @@ class LiveSimulation:
         self.agents.notify_allocation_changed()
         self.failures.append((self.env.now, j))
         self.trace.append(("fail", self.env.now, j, displaced))
+        if self.servers:
+            # A restart loses the server's request queue too: the owners
+            # re-submit every dropped request, routed by the live (post-
+            # failover) fractions — the churn model and the request
+            # plane close the loop.
+            for req in self.servers[j].fail():
+                self._resubmit(req)
         self._sample_cost(exact=True)
 
     def _rejoin(self, j: int) -> None:
@@ -390,25 +408,63 @@ class LiveSimulation:
         self.trace.append(("rejoin", self.env.now, j))
         self._sample_cost(exact=True)
 
-    def _traffic_fire(self, i: int) -> None:
-        inst = self.inst
-        rng = self._traffic_rngs[i]
-        self._requests_generated += 1
+    def _start_traffic(self, i: int) -> None:
+        """Arm organization ``i``'s Poisson arrival loop — at most one
+        loop per org (each org's stream comes from its own pre-spawned
+        seed, so re-arming later is still deterministic)."""
+        if self._traffic_armed[i]:
+            return
+        self._traffic_armed[i] = True
+        rng = self._traffic_rngs.get(i)
+        if rng is None:
+            rng = self._traffic_rngs[i] = np.random.default_rng(
+                self._traffic_seeds[i]
+            )
+        self.env.call_in(
+            rng.exponential(1.0 / self._traffic_rates[i]), self._traffic_fire, i
+        )
+
+    def _route(self, i: int, rng: np.random.Generator) -> int:
         # Live routing fractions; clip float dust from incremental
         # column updates so the probabilities stay a distribution.
-        p = np.clip(self.state.R[i], 0.0, None) / float(inst.loads[i])
+        p = np.clip(self.state.R[i], 0.0, None) / float(self.inst.loads[i])
         p = p / p.sum()
-        j = int(rng.choice(inst.m, p=p))
-        delay = float(inst.latency[i, j])
+        return int(rng.choice(self.inst.m, p=p))
+
+    def _traffic_fire(self, i: int) -> None:
+        rate = self._traffic_rates[i]
+        if rate <= 0:
+            self._traffic_armed[i] = False
+            return  # demand shifted away from this org: loop retires
+        rng = self._traffic_rngs[i]
+        self._requests_generated += 1
+        j = self._route(i, rng)
+        delay = float(self.inst.latency[i, j])
         if not self.alive[j] or not np.isfinite(delay):
             self._requests_failed += 1
         else:
             req = Request(owner=i, server=j, t_submit=self.env.now)
             self._requests.append(req)
             self.env.call_in(delay, self._request_arrives, req)
-        self.env.call_in(
-            rng.exponential(1.0 / self._traffic_rates[i]), self._traffic_fire, i
-        )
+        self.env.call_in(rng.exponential(1.0 / rate), self._traffic_fire, i)
+
+    def _resubmit(self, req: Request) -> None:
+        """Re-submit a request dropped by a server crash from its owner,
+        keeping the original submit time so the measured latency covers
+        the whole journey including the lost attempt."""
+        i = req.owner
+        self._requests_resubmitted += 1
+        if self.inst.loads[i] <= 0:
+            self._requests_failed += 1
+            return
+        j = self._route(i, self._traffic_rngs[i])
+        delay = float(self.inst.latency[i, j])
+        if not self.alive[j] or not np.isfinite(delay):
+            self._requests_failed += 1
+            return
+        retry = Request(owner=i, server=j, t_submit=req.t_submit)
+        self._requests.append(retry)
+        self.env.call_in(delay, self._request_arrives, retry)
 
     def _request_arrives(self, req: Request) -> None:
         if self.alive[req.server]:
@@ -417,6 +473,41 @@ class LiveSimulation:
             self._requests_failed += 1
 
     # ------------------------------------------------------------------
+    @property
+    def cost_samples(self) -> list[tuple[float, float]]:
+        """The sampled ``(sim time, ΣCi)`` trajectory so far — cost
+        changes only at exchange/churn/demand events, so it is a step
+        function anchored exactly at every run boundary."""
+        return list(self._cost_times)
+
+    def apply_demand(self, loads: np.ndarray) -> None:
+        """Shift the demand vector in place: the non-stationary hook of
+        the tracking plane (:class:`repro.tracking.TrackingSimulation`).
+
+        The allocation keeps its routing *fractions* (each organization's
+        volume is rescaled to its new demand — the warm start), the
+        gossip layer republishes every live server's new true load, the
+        agents refresh their owner set and drop their back-off, and the
+        Poisson traffic rates re-scale.  Topology and speeds are static;
+        only the loads change.
+        """
+        from ..core.dynamic import retarget_rows  # lazy: avoid cycle
+
+        new_inst = self.inst.with_loads(loads)
+        retarget_rows(self.state.R, self.inst.loads, new_inst.loads)
+        self.inst = new_inst
+        self.state.inst = new_inst
+        self.state.refresh_loads()
+        self.gossip.refresh_demand(new_inst)
+        self.agents.notify_demand_changed()
+        if self.servers:
+            old_rates = self._traffic_rates
+            self._traffic_rates = new_inst.loads * self.config.arrival_rate_scale
+            for i in np.flatnonzero((old_rates <= 0) & (self._traffic_rates > 0)):
+                self._start_traffic(int(i))
+        self.trace.append(("demand", self.env.now, float(new_inst.total_load)))
+        self._sample_cost(exact=True)
+
     def run(
         self, *, rounds: float | None = None, until: float | None = None
     ) -> LiveReport:
@@ -473,6 +564,7 @@ class LiveSimulation:
             requests_submitted=self._requests_generated,
             requests_completed=len(completed),
             requests_failed=self._requests_failed,
+            requests_resubmitted=self._requests_resubmitted,
             request_mean_latency=mean_lat,
             trace=self.trace,
         )

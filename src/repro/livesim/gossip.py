@@ -6,10 +6,10 @@ loop on the shared event queue.  One cycle of server ``i``:
 
 1. publish its authoritative entry (its current true load, a fresh
    per-origin version, and the publish sim-time);
-2. pick a random finite-latency peer ``j`` and send it a PUSH carrying a
-   copy of ``i``'s whole table;
-3. on delivery, ``j`` merges the table entry-wise by per-origin version
-   and replies with a PULL-REPLY carrying its merged table, which ``i``
+2. pick a random finite-latency peer ``j`` and send it a PUSH carrying
+   gossip state;
+3. on delivery, ``j`` merges the payload entry-wise by per-origin version
+   and replies with a PULL-REPLY carrying its own state, which ``i``
    merges in turn when (and if) it arrives.
 
 Because both legs travel through :class:`repro.livesim.net.ControlNetwork`
@@ -18,20 +18,53 @@ time``) are the staleness metric the driver reports.  Down servers
 neither publish nor reply; their authoritative entries age until they
 rejoin.
 
+Two wire formats carry the exchange (``mode=`` on :class:`AsyncGossip`,
+``gossip_mode`` on :class:`repro.livesim.LiveConfig`):
+
+``"full"`` (default)
+    Every payload is the sender's whole per-server state (values,
+    versions, publish stamps) — one batched copy per (src, dst) round,
+    merged with one version-masked pass.  O(m) payload per message.
+
+``"delta"``
+    Version-vector diffs: a payload carries only the entries the sender
+    cannot prove the receiver already has.  Each server tracks the local
+    sim-time at which every table entry last *changed* (merged a newer
+    version, or its own entry re-published a new value — tracked on a
+    per-server integer modification clock, so ordering is exact even
+    when events share a float timestamp) plus, per destination, an
+    acknowledged *floor*: payloads ship exactly the entries modified
+    after the floor.  The PULL-REPLY echoes the push's assembly clock;
+    receiving it proves the push was merged, advancing the floor.  Lost
+    messages simply leave the floor behind, so the next payload is a
+    superset — never a gap.  Entry versions bump only when a value
+    actually changes, so a converged fleet ships near-empty payloads:
+    O(changes) instead of O(m).
+
+    Delta mode is a *wire-format* optimization with provably identical
+    merge results: a payload always includes every entry strictly newer
+    than the receiver's copy (anything omitted is provably not newer, so
+    a full-table merge would discard it too).  Message sequence, RNG
+    streams, merged load views, ``update_counts`` and therefore agent
+    behavior are bit-identical to full mode — the determinism suite
+    replays both modes on every preset.  Only the staleness *metric*
+    differs: stamps refresh on value changes, so a view's "age" is the
+    age of its last change rather than of its last heartbeat.
+
 Throughput choices that matter on the hot path:
 
 * **Batched payloads.**  A (src, dst) exchange round ships the whole
-  per-server state (values, versions, publish stamps) as *one* payload
-  and merges it with one version-masked pass — never one message-event
-  per table entry.
+  per-server state (or its delta) as *one* payload and merges it with
+  one version-masked pass — never one message-event per table entry.
 * **Size-adaptive representation.**  At fleet scale the table is one
   packed ``(m, 3, m)`` ndarray: a payload is a single contiguous
-  ``(3, m)`` copy and a merge three vectorized calls.  On small fleets
-  (``m <= _LIST_MODE_MAX``) the same protocol runs on plain Python
-  lists instead — at m ≈ 16 a list copy-and-merge is ~5x cheaper than
-  the numpy one, whose fixed per-call dispatch dominates rows that
-  small.  The mode is an internal representation choice; the message
-  sequence, RNG streams and merge results are identical.
+  ``(3, m)`` copy (or a fancy-indexed ``(3, k)`` delta) and a merge a
+  few vectorized calls.  On small fleets (``m <= _LIST_MODE_MAX``) the
+  same protocol runs on plain Python lists instead — at m ≈ 16 a list
+  copy-and-merge is ~5x cheaper than the numpy one, whose fixed per-call
+  dispatch dominates rows that small.  The mode is an internal
+  representation choice; the message sequence, RNG streams and merge
+  results are identical.
 * **Callback cycles.**  Each server's publish/push loop is a self-
   re-arming ``call_at`` callback, not a generator process, with its
   jitter and peer draws taken from block-buffered (bit-identical)
@@ -55,12 +88,21 @@ from ..sim.events import Environment
 from ._util import BufferedIntegers, BufferedUniform
 from .net import ControlNetwork
 
-__all__ = ["AsyncGossip", "GossipStats"]
+__all__ = ["AsyncGossip", "GossipStats", "GOSSIP_MODES"]
 
 #: Largest fleet kept on the Python-list table representation; beyond it
 #: the vectorized packed-ndarray path wins (the crossover is flat
 #: between ~48 and ~96 servers).
 _LIST_MODE_MAX = 64
+
+GOSSIP_MODES = ("full", "delta")
+
+#: Modelled payload sizes for the byte accounting: a full-table entry is
+#: three float64 (value, version, stamp); a delta entry additionally
+#: carries its origin index; every message pays a small fixed header.
+_ENTRY_BYTES_FULL = 24
+_ENTRY_BYTES_DELTA = 32
+_HEADER_BYTES = 24
 
 
 @dataclass
@@ -71,6 +113,8 @@ class GossipStats:
     pushes: int = 0
     pull_replies: int = 0
     merges: int = 0
+    payload_entries: int = 0  #: table entries shipped across all payloads
+    payload_bytes: int = 0    #: modelled bytes shipped (see module doc)
 
 
 class AsyncGossip:
@@ -82,7 +126,8 @@ class AsyncGossip:
     so ``env.now − stamps[i]`` is the *information age* of ``i``'s view.
     The three are exposed as (m, m) arrays regardless of the internal
     representation (see module doc); mutate state only through
-    :meth:`publish` and the message handlers.
+    :meth:`publish` and the message handlers.  ``mode`` selects the wire
+    format (``"full"`` tables or ``"delta"`` version-vector diffs).
     """
 
     def __init__(
@@ -95,23 +140,41 @@ class AsyncGossip:
         seeds: list[np.random.SeedSequence],
         *,
         interval: float,
+        mode: str = "full",
     ):
         m = inst.m
         if len(seeds) != m:
             raise ValueError("need one RNG seed per server")
+        if mode not in GOSSIP_MODES:
+            raise ValueError(f"gossip mode must be one of {GOSSIP_MODES}, got {mode!r}")
         self.env = env
         self.net = net
         self.inst = inst
         self.state = state
         self.alive = alive
         self.interval = float(interval)
+        self.mode = mode
         self.rngs = [np.random.default_rng(s) for s in seeds]
         self.stats = GossipStats()
 
+        self._m = m
         self._own_version = [0] * m
         #: Times each server's view *content* changed (see module doc).
         self.update_counts = [0] * m
         self._list_mode = m <= _LIST_MODE_MAX
+        delta = mode == "delta"
+        if delta:
+            # Per-server integer modification clock (`_mclock[i]` ticks
+            # once per local table modification — publish-with-change or
+            # merge), the clock value at which every entry last changed
+            # (`_mtime[i, k]`), and per (sender, receiver) pair the
+            # acknowledged floor: the sender's clock snapshot of the
+            # last payload the receiver provably merged.  Bootstrap
+            # state is common knowledge, so everything starts at 0:
+            # nothing is shipped until something changes.
+            self._mclock = [0] * m
+            self._mtime = np.zeros((m, m), dtype=np.int64)
+            self._ack_floor = np.zeros((m, m), dtype=np.int64)
 
         # Bootstrap: the starting allocation (everyone runs locally) is
         # common knowledge, so every table starts from the true initial
@@ -121,9 +184,14 @@ class AsyncGossip:
             self._vals = [list(loads) for _ in range(m)]
             self._vers: list[list] = [[0] * m for _ in range(m)]
             self._stmp = [[0.0] * m for _ in range(m)]
-            self.publish = self._publish_list
-            self._packet = self._packet_list
-            self._merge = self._merge_list
+            if delta:
+                self.publish = self._publish_list_delta
+                self._packet_body = self._packet_body_list_delta
+                self._merge = self._merge_list_delta
+            else:
+                self.publish = self._publish_list
+                self._packet_body = self._packet_body_list
+                self._merge = self._merge_list
         else:
             # Packed row layout: [0] values, [1] versions (float64 —
             # integer-exact far beyond any reachable count), [2] stamps.
@@ -138,9 +206,15 @@ class AsyncGossip:
             # Scratch buffers for the merge (transient, shared).
             self._newer_buf = np.empty(m, dtype=bool)
             self._diff_buf = np.empty(m, dtype=bool)
-            self.publish = self._publish_np
-            self._packet = self._packet_np
-            self._merge = self._merge_np
+            if delta:
+                self.publish = self._publish_np_delta
+                self._packet_body = self._packet_body_np_delta
+                self._merge = self._merge_np_delta
+            else:
+                self.publish = self._publish_np
+                self._packet_body = self._packet_body_np
+                self._merge = self._merge_np
+        self._push_handler = self._on_push_delta if delta else self._on_push
 
         # Peers reachable over a finite-latency link (gossip cannot cross
         # forbidden links any more than requests can).
@@ -214,6 +288,25 @@ class AsyncGossip:
         return float(ages[mask].mean())
 
     # ------------------------------------------------------------------
+    def refresh_demand(self, inst: Instance) -> None:
+        """Demand shifted: adopt the new instance and republish every
+        live server's authoritative entry so the new true loads spread.
+
+        The caller must have retargeted the shared allocation state
+        first (:func:`repro.core.dynamic.retarget_rows`); the latency
+        matrix must be unchanged — peers and topology are static.
+        """
+        if inst.m != self.inst.m:
+            raise ValueError(
+                f"demand refresh cannot change the fleet size "
+                f"({self.inst.m} -> {inst.m})"
+            )
+        self.inst = inst
+        for i in range(inst.m):
+            if self.alive[i]:
+                self.publish(i)
+
+    # ------------------------------------------------------------------
     # Publish / packet / merge — Python-list representation (small m)
     # ------------------------------------------------------------------
     def _publish_list(self, i: int) -> None:
@@ -229,13 +322,12 @@ class AsyncGossip:
         self._stmp[i][i] = self.env.now
         self.stats.publishes += 1
 
-    def _packet_list(self, src: int, dst: int) -> tuple:
+    def _packet_body_list(self, src: int, dst: int) -> tuple:
         # The whole (values, versions, stamps) state batched into one
         # payload for the (src, dst) round.
-        return (
-            src, dst,
-            (self._vals[src][:], self._vers[src][:], self._stmp[src][:]),
-        )
+        self.stats.payload_entries += self._m
+        self.stats.payload_bytes += _HEADER_BYTES + _ENTRY_BYTES_FULL * self._m
+        return (self._vals[src][:], self._vers[src][:], self._stmp[src][:])
 
     def _merge_list(self, dst: int, rows: tuple) -> None:
         qv, qr, qs = rows
@@ -260,6 +352,68 @@ class AsyncGossip:
                 self.update_counts[dst] += 1
 
     # ------------------------------------------------------------------
+    # Publish / packet / merge — delta wire format, list representation
+    # ------------------------------------------------------------------
+    def _publish_list_delta(self, i: int) -> None:
+        # Versions advance only when the value does: an unchanged load
+        # re-published is a no-op, which is what keeps converged payloads
+        # empty.  (Value changes are what downstream consumers react to;
+        # see the module doc for why this preserves bit-identity.)
+        load = float(self.state.loads[i])
+        vals = self._vals[i]
+        if vals[i] == load:
+            return
+        vals[i] = load
+        self.update_counts[i] += 1
+        self._own_version[i] += 1
+        self._vers[i][i] = self._own_version[i]
+        self._stmp[i][i] = self.env.now
+        self._mclock[i] += 1
+        self._mtime[i, i] = self._mclock[i]
+        self.stats.publishes += 1
+
+    def _packet_body_list_delta(self, src: int, dst: int) -> tuple:
+        idx = np.flatnonzero(self._mtime[src] > self._ack_floor[src, dst])
+        ks = idx.tolist()
+        vals, vers, stmp = self._vals[src], self._vers[src], self._stmp[src]
+        self.stats.payload_entries += len(ks)
+        self.stats.payload_bytes += _HEADER_BYTES + _ENTRY_BYTES_DELTA * len(ks)
+        return (
+            self._mclock[src],
+            ks,
+            [vals[k] for k in ks],
+            [vers[k] for k in ks],
+            [stmp[k] for k in ks],
+        )
+
+    def _merge_list_delta(self, dst: int, body: tuple) -> None:
+        _snap, ks, qv, qr, qs = body
+        if not ks:
+            return
+        mv = self._vals[dst]
+        mr = self._vers[dst]
+        ms = self._stmp[dst]
+        merged = False
+        changed = False
+        seq = self._mclock[dst] + 1
+        mtime = self._mtime
+        for pos, k in enumerate(ks):
+            v = qr[pos]
+            if v > mr[k]:
+                merged = True
+                mr[k] = v
+                ms[k] = qs[pos]
+                mtime[dst, k] = seq
+                if mv[k] != qv[pos]:
+                    mv[k] = qv[pos]
+                    changed = True
+        if merged:
+            self._mclock[dst] = seq
+            self.stats.merges += 1
+            if changed:
+                self.update_counts[dst] += 1
+
+    # ------------------------------------------------------------------
     # Publish / packet / merge — packed-ndarray representation (large m)
     # ------------------------------------------------------------------
     def _publish_np(self, i: int) -> None:
@@ -273,9 +427,11 @@ class AsyncGossip:
         self._nstmp[i][i] = self.env.now
         self.stats.publishes += 1
 
-    def _packet_np(self, src: int, dst: int) -> tuple:
+    def _packet_body_np(self, src: int, dst: int) -> np.ndarray:
         # One contiguous (3, m) copy per (src, dst) round.
-        return (src, dst, self._rows[src].copy())
+        self.stats.payload_entries += self._m
+        self.stats.payload_bytes += _HEADER_BYTES + _ENTRY_BYTES_FULL * self._m
+        return self._rows[src].copy()
 
     def _merge_np(self, dst: int, table: np.ndarray) -> None:
         newer = self._newer_buf
@@ -292,8 +448,54 @@ class AsyncGossip:
             self.stats.merges += 1
 
     # ------------------------------------------------------------------
+    # Publish / packet / merge — delta wire format, packed representation
+    # ------------------------------------------------------------------
+    def _publish_np_delta(self, i: int) -> None:
+        load = self.state.loads[i]
+        vals = self._nvals[i]
+        if vals[i] == load:
+            return
+        vals[i] = load
+        self.update_counts[i] += 1
+        self._own_version[i] += 1
+        self._nvers[i][i] = self._own_version[i]
+        self._nstmp[i][i] = self.env.now
+        self._mclock[i] += 1
+        self._mtime[i, i] = self._mclock[i]
+        self.stats.publishes += 1
+
+    def _packet_body_np_delta(self, src: int, dst: int) -> tuple:
+        idx = np.flatnonzero(self._mtime[src] > self._ack_floor[src, dst])
+        sub = self._rows[src][:, idx]  # advanced indexing: already a copy
+        self.stats.payload_entries += idx.size
+        self.stats.payload_bytes += _HEADER_BYTES + _ENTRY_BYTES_DELTA * idx.size
+        return (self._mclock[src], idx, sub)
+
+    def _merge_np_delta(self, dst: int, body: tuple) -> None:
+        _snap, idx, sub = body
+        if idx.size == 0:
+            return
+        vers = self._nvers[dst]
+        newer = sub[1] > vers[idx]
+        if newer.any():
+            sel = idx[newer]
+            picked = sub[:, newer]
+            vals = self._nvals[dst]
+            if np.any(picked[0] != vals[sel]):
+                self.update_counts[dst] += 1
+            vals[sel] = picked[0]
+            vers[sel] = picked[1]
+            self._nstmp[dst][sel] = picked[2]
+            self._mclock[dst] += 1
+            self._mtime[dst, sel] = self._mclock[dst]
+            self.stats.merges += 1
+
+    # ------------------------------------------------------------------
     # The gossip cycle
     # ------------------------------------------------------------------
+    def _packet(self, src: int, dst: int) -> tuple:
+        return (src, dst, self._packet_body(src, dst))
+
     def _arm(self, i: int) -> None:
         # Jittered interval: desynchronizes the population so gossip
         # traffic is spread over time instead of thundering in herds.
@@ -307,7 +509,7 @@ class AsyncGossip:
             self.publish(i)
             j = self._peers_list[i][draw.next()]
             self.stats.pushes += 1
-            self.net.send(i, j, self._on_push, self._packet(i, j))
+            self.net.send(i, j, self._push_handler, self._packet(i, j))
         self._arm(i)
 
     def _on_push(self, packet) -> None:
@@ -320,3 +522,25 @@ class AsyncGossip:
     def _on_pull_reply(self, packet) -> None:
         src, dst, rows = packet
         self._merge(dst, rows)
+
+    def _on_push_delta(self, packet) -> None:
+        src, dst, body = packet
+        # Assemble the reply *before* merging the push: entries about to
+        # be merged in came from src, which therefore cannot need them
+        # back (they would merge as version-equal no-ops) — omitting
+        # them keeps the reply a true delta.
+        reply_body = self._packet_body(dst, src)
+        self._merge(dst, body)
+        self.stats.pull_replies += 1
+        # The echoed assembly clock doubles as the push's acknowledgment.
+        self.net.send(
+            dst, src, self._on_pull_reply_delta, (dst, src, reply_body, body[0])
+        )
+
+    def _on_pull_reply_delta(self, packet) -> None:
+        src, dst, body, echo = packet
+        self._merge(dst, body)
+        # The reply proves the push assembled at clock `echo` was merged
+        # by src: everything dst had modified up to then is now covered.
+        if echo > self._ack_floor[dst, src]:
+            self._ack_floor[dst, src] = echo

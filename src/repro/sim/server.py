@@ -46,6 +46,7 @@ class SimServer:
         self.queue: deque[Request] = deque()
         self.completed: list[Request] = []
         self.busy = False
+        self._in_service: Request | None = None
 
     # ------------------------------------------------------------------
     def submit(self, req: Request) -> None:
@@ -59,13 +60,31 @@ class SimServer:
     def backlog(self) -> int:
         return len(self.queue)
 
+    def fail(self) -> list[Request]:
+        """Crash: drop every queued request — including the one in
+        service — and return them so the owners can re-submit.  The
+        already-scheduled completion of the in-service request becomes a
+        no-op (it no longer matches ``_in_service``)."""
+        dropped: list[Request] = []
+        if self._in_service is not None:
+            dropped.append(self._in_service)
+            self._in_service = None
+        dropped.extend(self.queue)
+        self.queue.clear()
+        self.busy = False
+        return dropped
+
     # ------------------------------------------------------------------
     def _start_next(self) -> None:
         req = self.queue.popleft()
         self.busy = True
+        self._in_service = req
         self.env.call_in(req.size / self.speed, self._complete, req)
 
     def _complete(self, req: Request) -> None:
+        if req is not self._in_service:
+            return  # dropped by a crash while its completion was in flight
+        self._in_service = None
         req.t_complete = self.env.now
         self.completed.append(req)
         if self.queue:

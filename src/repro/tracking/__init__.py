@@ -1,0 +1,75 @@
+"""Non-stationary workload tracking: demand as a function of time.
+
+Every other subsystem measures convergence against a *static* demand
+vector; this package makes demand move and measures how well the system
+*tracks* the moving optimum — the regime the paper's abstract promises
+("the distributed algorithm is efficient, therefore it can be used in
+networks with dynamically changing loads") and the warm-started
+iterative re-optimization setting of She & Tang (arXiv:1610.02588).
+
+Layers:
+
+* :mod:`repro.tracking.traces` — deterministic ``(t, load_vector)``
+  epoch generators: piecewise-constant drift, regime switching between
+  load models, flash-crowd replay, a sinusoidal diurnal sweep, and a
+  CSV/npz measured-trace loader, behind a named registry;
+* :mod:`repro.tracking.solvers` — stateful solvers for the offline
+  plane (:class:`repro.engine.StatefulSolver` sessions): warm-start
+  incremental MinE (``"mine-warm"``) versus the cold-restart control
+  (``"mine-cold"``), both exchange-budget-capped;
+* :mod:`repro.tracking.driver` — :class:`TrackingSimulation`, coupling
+  the event-driven live plane (:mod:`repro.livesim`) to epoch demand
+  shifts and recording regret, time-to-retrack and cumulative excess
+  cost ``∫(C(t) − C*(t))dt``;
+* :mod:`repro.tracking.sweep` — (scenario × trace × solver) grids
+  through the engine's backends, shards and stores.
+
+Quickstart:
+
+>>> from repro.tracking import TrackingSimulation
+>>> from repro.workloads import get_scenario
+>>> inst = get_scenario("federation-diurnal").instance(16, seed=0)
+>>> sim = TrackingSimulation(inst, "drift", seed=0)
+>>> report = sim.run()                                   # doctest: +SKIP
+>>> report.mean_final_error, report.cumulative_excess_cost  # doctest: +SKIP
+"""
+
+from . import solvers as _solvers  # noqa: F401 - registers mine-warm/mine-cold
+from .driver import EpochMetrics, TrackingReport, TrackingSimulation
+from .solvers import ColdRestartMinE, WarmStartMinE
+from .sweep import TrackingCell, evaluate_tracking_cell, tracking_sweep
+from .traces import (
+    TRACE_PRESETS,
+    DiurnalSweepTrace,
+    DriftTrace,
+    FlashCrowdReplay,
+    LoadTrace,
+    MeasuredTrace,
+    RegimeSwitchTrace,
+    get_trace,
+    list_traces,
+    register_trace,
+    trace_epochs,
+)
+
+__all__ = [
+    "TrackingSimulation",
+    "TrackingReport",
+    "EpochMetrics",
+    "LoadTrace",
+    "DriftTrace",
+    "RegimeSwitchTrace",
+    "FlashCrowdReplay",
+    "DiurnalSweepTrace",
+    "MeasuredTrace",
+    "register_trace",
+    "get_trace",
+    "list_traces",
+    "trace_epochs",
+    "TRACE_PRESETS",
+    "WarmStartMinE",
+    "ColdRestartMinE",
+    "TrackingCell",
+    "evaluate_tracking_cell",
+    "tracking_sweep",
+]

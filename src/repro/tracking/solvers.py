@@ -1,0 +1,168 @@
+"""Stateful tracking solvers: warm-start incremental MinE vs cold restart.
+
+A *stateful* solver is a session that follows a demand trace epoch by
+epoch (the :class:`repro.engine.StatefulSolver` protocol): ``start``
+initializes on the first epoch, each ``step`` receives the next epoch's
+instance (same fleet, new loads) and re-solves.  Two built-ins register
+themselves with the engine registry:
+
+``"mine-warm"``
+    The paper's operational claim made concrete: keep the previous
+    epoch's allocation, re-apply its routing *fractions* to the new
+    demand (:func:`repro.core.dynamic.retarget_allocation`) and run
+    exchange-budget-capped MinE sweeps until the cost re-tracks to the
+    relative bound.  Because the warm start is already near-optimal for
+    a drifted demand, re-tracking costs a small fraction of the
+    exchanges a fresh solve needs.
+
+``"mine-cold"``
+    The control: throw the allocation away and re-run MinE from the
+    all-local start every epoch.  Identical sweep kernel, identical
+    stopping rule — the exchange-count gap between the two is exactly
+    the value of statefulness (the ≥3x acceptance figure of
+    ``benchmarks/test_tracking.py``).
+
+Both return plain :class:`repro.engine.SolveResult` rows (with
+``exchanges`` / ``exchanges_to_bound`` metadata), so trace sweeps flow
+through :class:`repro.engine.SweepEngine` and its stores unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.dynamic import reoptimize, retarget_allocation
+from ..core.instance import Instance
+from ..core.state import AllocationState
+from ..engine.registry import register_stateful_solver
+from ..engine.result import SolveResult
+
+__all__ = ["WarmStartMinE", "ColdRestartMinE"]
+
+
+class _MinETrackerBase:
+    """Shared session mechanics of the two MinE trackers."""
+
+    name = "mine-base"
+
+    def __init__(
+        self,
+        *,
+        rel_tol: float = 0.02,
+        max_sweeps: int = 60,
+        exchange_budget: int | None = None,
+        strategy: str = "auto",
+        screen_width: int = 16,
+        min_improvement: float = 1e-9,
+    ):
+        self.rel_tol = float(rel_tol)
+        self.max_sweeps = int(max_sweeps)
+        self.exchange_budget = exchange_budget
+        self.strategy = strategy
+        self.screen_width = int(screen_width)
+        self.min_improvement = float(min_improvement)
+        self.state: AllocationState | None = None
+        self.epoch = -1
+        self._rng: np.random.Generator | None = None
+
+    # ------------------------------------------------------------------
+    def start(
+        self,
+        inst: Instance,
+        *,
+        rng: "np.random.Generator | int | None" = None,
+        optimum: float | None = None,
+        **options,
+    ) -> SolveResult:
+        """Initialize on the first epoch (a fresh all-local solve)."""
+        self._rng = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        self.state = AllocationState.initial(inst)
+        self.epoch = -1
+        return self._solve(inst, optimum, warm=False, **options)
+
+    def step(
+        self, inst: Instance, *, optimum: float | None = None, **options
+    ) -> SolveResult:
+        """Advance one epoch; the subclass decides what state survives."""
+        if self.state is None:
+            return self.start(inst, optimum=optimum, **options)
+        if inst.m != self.state.inst.m:
+            raise ValueError("a tracking session cannot change fleet size")
+        return self._step(inst, optimum, **options)
+
+    def _step(self, inst, optimum, **options) -> SolveResult:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _solve(self, inst, optimum, *, warm: bool, **options) -> SolveResult:
+        self.epoch += 1
+        t0 = time.perf_counter()
+        res = reoptimize(
+            self.state,
+            rng=self._rng,
+            optimum=optimum,
+            rel_tol=self.rel_tol,
+            max_sweeps=self.max_sweeps,
+            exchange_budget=self.exchange_budget,
+            strategy=self.strategy,
+            screen_width=self.screen_width,
+            min_improvement=self.min_improvement,
+            **options,
+        )
+        wall = time.perf_counter() - t0
+        return SolveResult(
+            solver=self.name,
+            state=self.state,
+            total_cost=res.cost,
+            wall_time_s=wall,
+            iterations=res.sweeps,
+            converged=res.converged,
+            metadata={
+                "epoch": self.epoch,
+                "warm": warm,
+                "exchanges": res.exchanges,
+                "exchanges_to_bound": res.exchanges_to_bound,
+                "moved": res.moved,
+            },
+        )
+
+
+class WarmStartMinE(_MinETrackerBase):
+    """Warm-start incremental tracker (registered as ``"mine-warm"``)."""
+
+    name = "mine-warm"
+
+    def _step(self, inst, optimum, **options) -> SolveResult:
+        self.state = retarget_allocation(self.state, inst)
+        return self._solve(inst, optimum, warm=True, **options)
+
+
+class ColdRestartMinE(_MinETrackerBase):
+    """Cold-restart baseline (registered as ``"mine-cold"``)."""
+
+    name = "mine-cold"
+
+    def _step(self, inst, optimum, **options) -> SolveResult:
+        self.state = AllocationState.initial(inst)
+        return self._solve(inst, optimum, warm=False, **options)
+
+
+register_stateful_solver(
+    "mine-warm",
+    WarmStartMinE,
+    kind="tracking",
+    description="Warm-start incremental MinE: retarget the previous "
+    "allocation's fractions to the new demand, then budget-capped sweeps "
+    "to the bound",
+)
+register_stateful_solver(
+    "mine-cold",
+    ColdRestartMinE,
+    kind="tracking",
+    description="Cold-restart baseline: fresh all-local MinE solve every "
+    "epoch (the statefulness control)",
+)

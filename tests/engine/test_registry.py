@@ -174,3 +174,42 @@ class TestEvaluators:
             assert get_evaluator("test-constant")(None, None) == {"answer": 42}
         finally:
             _EVALUATORS.pop("test-constant", None)
+
+
+class TestStatefulSolverRegistry:
+    """The third registry: session factories for tracking solvers."""
+
+    def test_builtin_sessions_listed_and_typed(self):
+        from repro.engine import (
+            StatefulSolver,
+            get_stateful_solver,
+            list_stateful_solvers,
+        )
+
+        listed = list_stateful_solvers()
+        assert {"mine-warm", "mine-cold"} <= set(listed)
+        assert all(listed.values())  # every entry carries a description
+        session = get_stateful_solver("mine-warm")(rel_tol=0.05)
+        assert isinstance(session, StatefulSolver)
+
+    def test_custom_factory_roundtrip(self):
+        from repro.engine import get_stateful_solver, register_stateful_solver
+        from repro.engine.registry import _STATEFUL
+
+        class _Null:
+            name = "test-null"
+
+            def start(self, inst, *, rng=None, optimum=None, **options):
+                return None
+
+            def step(self, inst, *, optimum=None, **options):
+                return None
+
+        register_stateful_solver("test-null", _Null, description="test")
+        try:
+            entry = get_stateful_solver("test-null")
+            assert entry().name == "test-null"
+            with pytest.raises(ValueError, match="already registered"):
+                register_stateful_solver("test-null", _Null)
+        finally:
+            _STATEFUL.pop("test-null", None)

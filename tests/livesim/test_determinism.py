@@ -71,6 +71,66 @@ class TestChurnRateZeroIsChurnOff:
         np.testing.assert_array_equal(rep_off.costs, rep_zero.costs)
         assert rep_zero.failures == []
 
+    def test_identical_with_traffic(self):
+        """Churn at rate zero must also leave the *request plane*
+        untouched: no queue drops, no re-submissions, bit-identical
+        request streams versus churn disabled."""
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        off = LiveConfig(arrival_rate_scale=0.05)
+        zero = LiveConfig(arrival_rate_scale=0.05, churn_rate=0.0)
+        sim_off, rep_off = _run(inst, off, seed=2)
+        sim_zero, rep_zero = _run(inst, zero, seed=2)
+        assert rep_off.trace == rep_zero.trace
+        np.testing.assert_array_equal(sim_off.state.R, sim_zero.state.R)
+        assert rep_off.requests_submitted == rep_zero.requests_submitted
+        assert rep_off.requests_completed == rep_zero.requests_completed
+        assert rep_zero.requests_resubmitted == 0
+        assert rep_off.request_mean_latency == rep_zero.request_mean_latency
+
+
+class TestChurnDropsQueuedRequests:
+    def test_failures_resubmit_and_runs_replay(self):
+        """A failed server drops its queued requests; owners re-submit
+        them (the churn–traffic coupling), deterministically per seed."""
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        churn = get_live_preset("churn")
+        cfg = LiveConfig(
+            p_drop=churn.p_drop,
+            churn_rate=0.02,
+            arrival_rate_scale=0.05,
+        )
+        sim_a, rep_a = _run(inst, cfg, seed=6, rounds=120)
+        assert rep_a.failures, "churn produced no failures"
+        assert rep_a.requests_resubmitted > 0, (
+            "no queued request was dropped and re-submitted across "
+            f"{len(rep_a.failures)} failures"
+        )
+        assert rep_a.requests_completed > 0
+        sim_b, rep_b = _run(inst, cfg, seed=6, rounds=120)
+        assert rep_a.trace == rep_b.trace
+        assert rep_a.requests_resubmitted == rep_b.requests_resubmitted
+        assert rep_a.requests_completed == rep_b.requests_completed
+        np.testing.assert_array_equal(sim_a.state.R, sim_b.state.R)
+
+    def test_crashed_server_queue_empties(self):
+        from repro.sim.events import Environment
+        from repro.sim.server import Request, SimServer
+
+        env = Environment()
+        server = SimServer(env, 0, speed=1.0)
+        for k in range(3):
+            server.submit(Request(owner=k, server=0, t_submit=0.0))
+        assert server.busy and server.backlog == 2
+        dropped = server.fail()
+        assert len(dropped) == 3  # in-service + queued
+        assert not server.busy and server.backlog == 0
+        env.run(until=10.0)  # stale completion event fires as a no-op
+        assert server.completed == []
+        # The server works again after "rejoining".
+        server.submit(Request(owner=9, server=0, t_submit=env.now))
+        env.run(until=20.0)
+        assert [r.owner for r in server.completed] == [9]
+
 
 class TestSchedulerIdentity:
     """The calendar-queue scheduler replays the heap's event order

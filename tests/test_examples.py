@@ -31,6 +31,8 @@ def _small_examples(monkeypatch, capsys):
         "custom_scenario.py",
         "solver_shootout.py",
         "live_rebalancing.py",
+        "workload_tracking.py",
+        "sharded_sweep_coordinator.py",
     ],
 )
 def test_example_runs(script, capsys):

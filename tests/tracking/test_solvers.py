@@ -1,0 +1,182 @@
+"""Stateful solvers: registry, warm-vs-cold sessions, budget capping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import reoptimize, retarget_allocation, retarget_rows
+from repro.core.state import AllocationState
+from repro.engine import (
+    StatefulSolver,
+    get_stateful_solver,
+    list_stateful_solvers,
+    register_stateful_solver,
+)
+from repro.tracking import trace_epochs
+from repro.workloads import cached_instance, cached_optimum, get_scenario
+
+
+def _epoch_instances(name="paper-planetlab", m=14, seed=0, trace="drift"):
+    base = cached_instance(get_scenario(name), m, seed)
+    return [base.with_loads(loads) for _, loads in trace_epochs(trace, m, seed)]
+
+
+class TestRetarget:
+    def test_fractions_preserved_rows_resum(self):
+        inst = cached_instance(get_scenario("paper-planetlab"), 10, 0)
+        opt_state, _, _, _ = cached_optimum(get_scenario("paper-planetlab"), 10, 0)
+        rng = np.random.default_rng(3)
+        new = inst.with_loads(inst.loads * rng.uniform(0.5, 2.0, 10))
+        warm = retarget_allocation(opt_state, new)
+        np.testing.assert_allclose(warm.R.sum(axis=1), new.loads, rtol=1e-9)
+        np.testing.assert_allclose(warm.fractions(), opt_state.fractions(), atol=1e-12)
+
+    def test_zero_load_rows_pin_local(self):
+        inst = cached_instance(get_scenario("paper-planetlab"), 6, 0)
+        zeroed = np.array(inst.loads)
+        zeroed[2] = 0.0
+        state = AllocationState.initial(inst.with_loads(zeroed))
+        revived = np.array(inst.loads)
+        warm = retarget_allocation(state, inst.with_loads(revived))
+        assert warm.R[2, 2] == revived[2]
+        np.testing.assert_allclose(warm.R.sum(axis=1), revived, rtol=1e-9)
+
+    def test_size_mismatch_rejected(self):
+        inst = cached_instance(get_scenario("paper-planetlab"), 6, 0)
+        other = cached_instance(get_scenario("paper-planetlab"), 8, 0)
+        with pytest.raises(ValueError, match="retarget"):
+            retarget_allocation(AllocationState.initial(inst), other)
+
+    def test_retarget_rows_in_place(self):
+        R = np.diag([2.0, 4.0])
+        retarget_rows(R, np.array([2.0, 4.0]), np.array([6.0, 1.0]))
+        np.testing.assert_allclose(R.sum(axis=1), [6.0, 1.0])
+
+
+class TestReoptimize:
+    def test_stops_at_bound(self):
+        sc = get_scenario("paper-planetlab")
+        inst = cached_instance(sc, 14, 0)
+        _, opt_cost, _, _ = cached_optimum(sc, 14, 0)
+        state = AllocationState.initial(inst)
+        res = reoptimize(state, rng=0, optimum=opt_cost, rel_tol=0.02)
+        assert res.converged
+        assert res.exchanges_to_bound == res.exchanges
+        assert (state.total_cost() - opt_cost) / opt_cost <= 0.02
+
+    def test_exchange_budget_caps(self):
+        sc = get_scenario("paper-planetlab")
+        inst = cached_instance(sc, 14, 0)
+        _, opt_cost, _, _ = cached_optimum(sc, 14, 0)
+        state = AllocationState.initial(inst)
+        res = reoptimize(
+            state, rng=0, optimum=opt_cost, rel_tol=1e-12, exchange_budget=5,
+            max_sweeps=50,
+        )
+        # Hard cap: the remaining allowance is threaded into each sweep,
+        # which truncates mid-iteration — never a single exchange over.
+        assert res.exchanges == 5
+        assert not res.converged
+
+    def test_budget_cap_is_sweep_prefix(self):
+        """A truncated sweep applies exactly the first exchanges the
+        unbounded sweep would have (same RNG, same server order)."""
+        sc = get_scenario("paper-planetlab")
+        inst = cached_instance(sc, 14, 0)
+        free = AllocationState.initial(inst)
+        reoptimize(free, rng=7, max_sweeps=1)
+        capped = AllocationState.initial(inst)
+        res = reoptimize(capped, rng=7, max_sweeps=1, exchange_budget=3)
+        assert res.exchanges == 3
+        # The capped state diverges from the free one only by the
+        # exchanges it skipped — re-running without a budget from the
+        # same RNG position is not asserted here; what matters is the
+        # cap held exactly and the state is still a valid allocation.
+        capped.check_invariants()
+
+    def test_already_within_bound_is_free(self):
+        sc = get_scenario("paper-planetlab")
+        opt_state, opt_cost, _, _ = cached_optimum(sc, 14, 0)
+        res = reoptimize(opt_state, rng=0, optimum=opt_cost, rel_tol=0.02)
+        assert res.converged and res.exchanges == 0 and res.sweeps == 0
+
+
+class TestStatefulRegistry:
+    def test_builtins_registered(self):
+        names = list_stateful_solvers()
+        assert "mine-warm" in names and "mine-cold" in names
+
+    def test_factory_makes_fresh_protocol_sessions(self):
+        entry = get_stateful_solver("mine-warm")
+        a, b = entry(), entry()
+        assert a is not b
+        assert isinstance(a, StatefulSolver)
+        assert a.name == "mine-warm"
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_stateful_solver("mine-warm", lambda: None)
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="mine-warm"):
+            get_stateful_solver("no-such-session")
+
+
+class TestSessions:
+    def test_warm_tracks_every_epoch(self):
+        insts = _epoch_instances()
+        session = get_stateful_solver("mine-warm")(rel_tol=0.02)
+        from repro.core.qp import solve_coordinate_descent
+
+        for k, inst in enumerate(insts):
+            opt = solve_coordinate_descent(inst, tol=1e-9).total_cost()
+            res = (
+                session.start(inst, rng=0, optimum=opt)
+                if k == 0
+                else session.step(inst, optimum=opt)
+            )
+            assert res.converged, f"epoch {k} failed to re-track"
+            assert res.relative_error(opt) <= 0.02 + 1e-12
+            assert res.metadata["warm"] == (k > 0)
+            assert res.metadata["epoch"] == k
+
+    def test_warm_cheaper_than_cold_on_steps(self):
+        insts = _epoch_instances(trace="drift-mild")
+        from repro.core.qp import solve_coordinate_descent
+
+        optima = [solve_coordinate_descent(i, tol=1e-9).total_cost() for i in insts]
+        totals = {}
+        for name in ("mine-warm", "mine-cold"):
+            session = get_stateful_solver(name)(rel_tol=0.02)
+            session.start(insts[0], rng=0, optimum=optima[0])
+            totals[name] = sum(
+                session.step(inst, optimum=opt).metadata["exchanges"]
+                for inst, opt in zip(insts[1:], optima[1:])
+            )
+        assert totals["mine-warm"] < totals["mine-cold"]
+
+    def test_cold_restart_ignores_history(self):
+        insts = _epoch_instances()
+        session = get_stateful_solver("mine-cold")()
+        session.start(insts[0], rng=0)
+        res = session.step(insts[1])
+        # A cold step equals a fresh session solving the same epoch with
+        # the same RNG position only in *shape*; what matters is that the
+        # state was reinitialized from all-local, not retargeted.
+        assert not res.metadata["warm"]
+        np.testing.assert_allclose(
+            session.state.R.sum(axis=1), insts[1].loads, rtol=1e-9
+        )
+
+    def test_step_before_start_autostarts(self):
+        insts = _epoch_instances()
+        session = get_stateful_solver("mine-warm")()
+        res = session.step(insts[0], optimum=None)
+        assert res.metadata["epoch"] == 0 and not res.metadata["warm"]
+
+    def test_fleet_resize_rejected(self):
+        session = get_stateful_solver("mine-warm")()
+        session.start(cached_instance(get_scenario("paper-planetlab"), 8, 0), rng=0)
+        with pytest.raises(ValueError, match="fleet size"):
+            session.step(cached_instance(get_scenario("paper-planetlab"), 10, 0))

@@ -1,0 +1,158 @@
+"""Trace generators: determinism, positivity, registry, measured I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.tracking import (
+    TRACE_PRESETS,
+    DiurnalSweepTrace,
+    DriftTrace,
+    FlashCrowdReplay,
+    MeasuredTrace,
+    RegimeSwitchTrace,
+    get_trace,
+    list_traces,
+    register_trace,
+    trace_epochs,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(TRACE_PRESETS))
+    def test_same_seed_bit_identical(self, name):
+        a = trace_epochs(name, 12, seed=3)
+        b = trace_epochs(name, 12, seed=3)
+        assert len(a) == len(b) >= 1
+        for (ta, la), (tb, lb) in zip(a, b):
+            assert ta == tb
+            np.testing.assert_array_equal(la, lb)
+
+    @pytest.mark.parametrize("name", sorted(TRACE_PRESETS))
+    def test_different_seeds_differ(self, name):
+        a = trace_epochs(name, 12, seed=0)
+        b = trace_epochs(name, 12, seed=1)
+        assert any(
+            not np.array_equal(la, lb) for (_, la), (_, lb) in zip(a, b)
+        )
+
+    @pytest.mark.parametrize("name", sorted(TRACE_PRESETS))
+    def test_epochs_well_formed(self, name):
+        epochs = trace_epochs(name, 20, seed=0)
+        times = [t for t, _ in epochs]
+        assert times[0] == 0.0
+        assert all(b > a for a, b in zip(times, times[1:]))
+        for _, loads in epochs:
+            assert loads.shape == (20,)
+            assert np.all(loads > 0)
+            assert np.all(np.isfinite(loads))
+
+
+class TestFamilies:
+    def test_drift_renormalizes_total(self):
+        epochs = trace_epochs(DriftTrace(drift_sigma=0.5, n_epochs=6), 15, seed=2)
+        totals = [loads.sum() for _, loads in epochs]
+        np.testing.assert_allclose(totals, totals[0], rtol=1e-6)
+        # ...but the mix genuinely moves.
+        assert not np.allclose(epochs[0][1], epochs[-1][1], rtol=0.05)
+
+    def test_regime_switch_holds_between_switches(self):
+        tr = RegimeSwitchTrace(n_epochs=12, switch_prob=0.5)
+        epochs = trace_epochs(tr, 10, seed=4)
+        held = sum(
+            np.array_equal(epochs[k][1], epochs[k - 1][1])
+            for k in range(1, len(epochs))
+        )
+        assert 0 < held < len(epochs) - 1  # some holds, some switches
+
+    def test_flash_replay_rises_and_decays(self):
+        tr = FlashCrowdReplay(n_epochs=10, onset=2, ramp_epochs=2, decay=0.3)
+        epochs = trace_epochs(tr, 25, seed=1)
+        totals = np.array([loads.sum() for _, loads in epochs])
+        peak = int(np.argmax(totals))
+        assert peak == tr.onset + tr.ramp_epochs - 1
+        assert totals[0] < 0.5 * totals[peak]   # it ramps well above background
+        assert totals[-1] < 1.05 * totals[0]    # and decays back to background
+
+    def test_diurnal_phase_rolls(self):
+        epochs = trace_epochs(DiurnalSweepTrace(noise_sigma=0.0), 24, seed=0)
+        # With zero noise, each region's load follows a sine: the argmax
+        # epoch differs across organizations in different regions.
+        peaks = {int(np.argmax([l[i] for _, l in epochs])) for i in range(24)}
+        assert len(peaks) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftTrace(n_epochs=0)
+        with pytest.raises(ValueError):
+            DriftTrace(epoch_rounds=0)
+        with pytest.raises(ValueError):
+            RegimeSwitchTrace(models=())
+        with pytest.raises(ValueError):
+            FlashCrowdReplay(onset=99)
+        with pytest.raises(ValueError):
+            DiurnalSweepTrace(amplitude=1.5)
+
+
+class TestMeasuredTrace:
+    def test_round_trip_csv(self, tmp_path):
+        rng = np.random.default_rng(0)
+        mat = rng.uniform(1, 100, size=(5, 8))
+        path = tmp_path / "trace.csv"
+        np.savetxt(path, mat, delimiter=",")
+        tr = MeasuredTrace.from_csv(path, epoch_rounds=10.0)
+        epochs = tr.epochs(8, rng)
+        assert len(epochs) == 5
+        assert epochs[1][0] == 10.0
+        np.testing.assert_allclose(epochs[3][1], mat[3])
+
+    def test_round_trip_npz(self, tmp_path):
+        mat = np.arange(1, 13, dtype=np.float64).reshape(4, 3)
+        path = tmp_path / "trace.npz"
+        np.savez(path, loads=mat)
+        tr = MeasuredTrace.from_npz(path)
+        epochs = tr.epochs(3, np.random.default_rng(0))
+        np.testing.assert_array_equal(epochs[2][1], mat[2])
+
+    def test_wrong_width_rejected(self):
+        tr = MeasuredTrace(np.ones((3, 4)))
+        with pytest.raises(ValueError, match="cannot replay"):
+            tr.epochs(5, np.random.default_rng(0))
+
+    def test_loads_floored_positive(self):
+        tr = MeasuredTrace(np.array([[0.0, 5.0], [1.0, 0.0]]))
+        for _, loads in tr.epochs(2, np.random.default_rng(0)):
+            assert np.all(loads > 0)
+
+    def test_bad_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            MeasuredTrace(np.ones(4))
+        with pytest.raises(ValueError):
+            MeasuredTrace(np.array([[np.inf, 1.0]]))
+
+
+class TestRegistry:
+    def test_presets_registered(self):
+        names = list_traces()
+        for name in TRACE_PRESETS:
+            assert name in names
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_trace("drift", DriftTrace())
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="drift"):
+            get_trace("no-such-trace")
+
+    def test_custom_roundtrip(self):
+        tr = DriftTrace(drift_sigma=0.01, n_epochs=2)
+        register_trace("tiny-drift-test", tr)
+        try:
+            assert get_trace("tiny-drift-test") is tr
+            assert len(trace_epochs("tiny-drift-test", 6, 0)) == 2
+        finally:
+            from repro.tracking.traces import _REGISTRY
+
+            _REGISTRY.pop("tiny-drift-test", None)
