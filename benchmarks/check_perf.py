@@ -28,7 +28,12 @@ import sys
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
-FILES = ("BENCH_events.json", "BENCH_livesim.json", "BENCH_tracking.json")
+FILES = (
+    "BENCH_events.json",
+    "BENCH_livesim.json",
+    "BENCH_tracking.json",
+    "BENCH_obs.json",
+)
 
 
 def committed(name: str, ref: str) -> dict | None:

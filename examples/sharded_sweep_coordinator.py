@@ -29,7 +29,10 @@ import sys
 import tempfile
 
 from repro.engine import JsonlStore
+from repro.obs import logconf
 from repro.tracking import tracking_sweep
+
+log = logconf.get_logger("examples.sharded_sweep")
 
 SCENARIOS = ["paper-planetlab", "federation-diurnal"]
 TRACES = ["drift"]
@@ -54,12 +57,13 @@ def run_sweep(m: int, store, shard=None):
 def worker(m: int, store: str, shard: str) -> None:
     rows = run_sweep(m, store, shard=shard)
     done = sum(r is not None for r in rows)
-    print(f"[worker {shard}] computed {done} of {len(rows)} cells -> {store}")
+    log.info("[worker %s] computed %d of %d cells -> %s",
+             shard, done, len(rows), store)
 
 
 def coordinator(m: int) -> None:
     total = len(SCENARIOS) * len(TRACES) * len(SOLVERS) * len(SEEDS)
-    print(f"sharded sweep: {total} cells over {N_SHARDS} local workers\n")
+    log.info("sharded sweep: %d cells over %d local workers", total, N_SHARDS)
     with tempfile.TemporaryDirectory(prefix="sharded-sweep-") as tmp:
         tmp = pathlib.Path(tmp)
         shard_stores = [tmp / f"shard-{k}.jsonl" for k in range(1, N_SHARDS + 1)]
@@ -87,7 +91,7 @@ def coordinator(m: int) -> None:
         # 2. Stitch the shard stores into one.
         merged_path = tmp / "merged.jsonl"
         merged = JsonlStore.merge(*shard_stores, out=merged_path)
-        print(f"\nmerged {N_SHARDS} shard stores -> {len(merged)} cells")
+        log.info("merged %d shard stores -> %d cells", N_SHARDS, len(merged))
         assert len(merged) == total, "shards did not cover the whole grid"
 
         # 3. Aggregate: re-run against the merged store — all cells hit
@@ -110,6 +114,7 @@ def main() -> None:
     # parse_known_args: the smoke tests execute this file via runpy with
     # the test runner's own flags still in sys.argv.
     args, _ = parser.parse_known_args()
+    logconf.configure(os.environ.get("REPRO_LOG_LEVEL", "INFO"))
     m = int(os.environ.get("REPRO_EXAMPLE_M", "14"))
     if args.shard is not None:
         if args.store is None:

@@ -47,6 +47,13 @@ def build_parser(description: str) -> argparse.ArgumentParser:
              "(1-based).  Each shard should write its own --store; merge "
              "them with JsonlStore.merge(shard1, shard2, ..., out=...) "
              "and re-run without --shard to aggregate")
+    parser.add_argument(
+        "--log-level", default="INFO", metavar="LEVEL",
+        help="logging level for the repro.obs.logconf progress log "
+             "(DEBUG, INFO, WARNING, ...)")
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit progress log records as one JSON object per line")
     return parser
 
 
@@ -58,8 +65,11 @@ def exec_kwargs(args: argparse.Namespace) -> dict:
     ``REPRO_CACHE_DIR`` / ``repro.workloads.set_cache_dir`` — applies to
     scenario-based cells, which solve through ``cached_optimum``.)"""
     if args.shard is not None and args.store is None:
-        print("note: --shard without --store computes the shard's cells "
-              "but persists nothing for the coordinator to merge")
+        from repro.obs import logconf
+
+        logconf.get_logger("results").warning(
+            "--shard without --store computes the shard's cells but "
+            "persists nothing for the coordinator to merge")
     kw = dict(backend=args.backend, max_workers=args.workers)
     if args.store is not None:
         kw["store"] = args.store

@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Inspect an observability export: metrics tables and slowest spans.
+
+Reads the artifacts an instrumented run writes —
+
+* a **snapshot JSON** (``Observability.to_json`` /
+  ``MetricsRegistry.to_json``): counters and gauges grouped by
+  subsystem prefix, histogram summaries, and series lengths;
+* a **trace JSONL** (``Tracer.to_jsonl``): one span per line, from
+  which the top-k slowest spans (by ``dur``) are listed with their
+  causal parents.
+
+Usage::
+
+    python results/inspect_run.py --snapshot metrics.json
+    python results/inspect_run.py --trace trace.jsonl --top 15
+    python results/inspect_run.py --snapshot metrics.json --trace trace.jsonl
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter as _TallyCounter
+
+
+def load_snapshot(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def load_trace(path: str) -> list:
+    spans = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def format_metrics(snap: dict) -> str:
+    """Counters/gauges grouped by subsystem prefix, plus histograms."""
+    out = []
+    metrics = snap.get("metrics", {})
+    if metrics:
+        by_subsystem: dict = {}
+        for name in sorted(metrics):
+            prefix = name.split(".", 1)[0]
+            by_subsystem.setdefault(prefix, []).append(name)
+        out.append(f"{'metric':<32} {'value':>16}")
+        out.append("-" * 49)
+        for prefix in sorted(by_subsystem):
+            for name in by_subsystem[prefix]:
+                v = metrics[name]
+                val = f"{v:>16.6g}" if isinstance(v, float) else f"{v:>16}"
+                out.append(f"{name:<32} {val}")
+            out.append("")
+    hists = snap.get("histograms", {})
+    if hists:
+        out.append(f"{'histogram':<28} {'count':>8} {'mean':>12} "
+                   f"{'min':>12} {'max':>12}")
+        out.append("-" * 76)
+        for name in sorted(hists):
+            h = hists[name]
+            mean = h.get("mean")
+            fmt = (lambda x: f"{x:>12.4g}" if isinstance(x, (int, float))
+                   else f"{'-':>12}")
+            out.append(f"{name:<28} {h.get('count', 0):>8} "
+                       f"{fmt(mean)} {fmt(h.get('min'))} {fmt(h.get('max'))}")
+        out.append("")
+    series = snap.get("series", {})
+    if series:
+        out.append(f"{'series':<32} {'points':>8} {'interval':>10}")
+        out.append("-" * 52)
+        for name in sorted(series):
+            s = series[name]
+            out.append(f"{name:<32} {len(s['points']):>8} "
+                       f"{s['interval']:>10.3g}")
+        out.append("")
+    trace = snap.get("trace")
+    if trace:
+        out.append(f"trace: {trace.get('spans', 0)} spans in ring, "
+                   f"{trace.get('dropped', 0)} dropped")
+    return "\n".join(out)
+
+
+def format_trace(spans: list, top: int = 10) -> str:
+    """Span-name tally plus the top-k slowest complete spans."""
+    out = []
+    tally = _TallyCounter(s["name"] for s in spans)
+    out.append(f"{'span name':<24} {'count':>8}")
+    out.append("-" * 33)
+    for name, n in tally.most_common():
+        out.append(f"{name:<24} {n:>8}")
+    out.append("")
+
+    timed = [s for s in spans if "dur" in s]
+    timed.sort(key=lambda s: (-s["dur"], s["sid"]))
+    if timed:
+        out.append(f"top {min(top, len(timed))} slowest spans (sim time):")
+        out.append(f"{'sid':>7} {'name':<20} {'ts':>10} {'dur':>10} "
+                   f"{'parent':>7} {'track':>6}")
+        out.append("-" * 65)
+        for s in timed[:top]:
+            parent = s.get("parent", "-")
+            track = s.get("track", "-")
+            out.append(f"{s['sid']:>7} {s['name']:<20} {s['ts']:>10.3f} "
+                       f"{s['dur']:>10.3f} {parent!s:>7} {track!s:>6}")
+    else:
+        out.append("no complete (timed) spans in trace")
+    return "\n".join(out)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--snapshot", metavar="PATH",
+                        help="metrics snapshot JSON (Observability.to_json)")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="span trace JSONL (Tracer.to_jsonl)")
+    parser.add_argument("--top", type=int, default=10, metavar="K",
+                        help="how many slowest spans to list (default 10)")
+    args = parser.parse_args(argv)
+    if not args.snapshot and not args.trace:
+        parser.error("nothing to inspect: pass --snapshot and/or --trace")
+
+    if args.snapshot:
+        print(f"== snapshot: {args.snapshot} ==")
+        print(format_metrics(load_snapshot(args.snapshot)))
+    if args.trace:
+        if args.snapshot:
+            print()
+        print(f"== trace: {args.trace} ==")
+        print(format_trace(load_trace(args.trace), top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

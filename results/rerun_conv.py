@@ -30,10 +30,14 @@ from _common import (
     exec_kwargs,
 )
 from repro.experiments.convergence import convergence_table, figure2_traces
+from repro.obs import logconf
+
+log = logconf.get_logger("results.rerun_conv")
 
 
 def main(argv=None):
     args = build_parser(__doc__).parse_args(argv)
+    logconf.configure(args.log_level, json=args.log_json)
     exec_kw = exec_kwargs(args)
 
     path = pathlib.Path(args.out)
@@ -44,13 +48,13 @@ def main(argv=None):
             tol, sizes=TABLE_SIZES, avg_loads=TABLE_AVGS, **exec_kw
         )
         d[name] = [vars(c) for c in cells]
-        print(name, "done at", f"{time.time() - t0:.0f}s", flush=True)
+        log.info("%s done at %.0fs", name, time.time() - t0)
     traces = figure2_traces(
         sizes=FIGURE2_SIZES, iterations=FIGURE2_ITERATIONS, **exec_kw
     )
     d["figure2"] = {str(k): v for k, v in traces.items()}
     path.write_text(json.dumps(d, indent=1))
-    print(f"written {path} at {time.time() - t0:.0f}s")
+    log.info("written %s at %.0fs", path, time.time() - t0)
 
 
 if __name__ == "__main__":

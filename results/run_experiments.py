@@ -39,50 +39,54 @@ from _common import (
 from repro.experiments.convergence import convergence_table, figure2_traces
 from repro.experiments.rtt_validation import rtt_table
 from repro.experiments.selfishness import selfishness_table
+from repro.obs import logconf
+
+log = logconf.get_logger("results.run_experiments")
 
 
 def main(argv=None):
     args = build_parser(__doc__).parse_args(argv)
+    logconf.configure(args.log_level, json=args.log_json)
     exec_kw = exec_kwargs(args)
 
     out = {}
     t0 = time.time()
 
-    print("Table I/II grids...", flush=True)
+    log.info("Table I/II grids...")
     for name, tol in TABLE_TOLS:
         cells = convergence_table(
             tol, sizes=TABLE_SIZES, avg_loads=TABLE_AVGS, progress=True,
             **exec_kw,
         )
         out[name] = [vars(c) for c in cells]
-        print(f"{name} done at {time.time() - t0:.0f}s", flush=True)
+        log.info("%s done at %.0fs", name, time.time() - t0)
 
-    print("Table III...", flush=True)
+    log.info("Table III...")
     cells = selfishness_table(
         sizes=(20, 30, 50), avg_loads=(10, 20, 50, 200, 1000),
         progress=True, **exec_kw,
     )
     out["table3"] = [vars(c) for c in cells]
-    print(f"table3 done at {time.time() - t0:.0f}s", flush=True)
+    log.info("table3 done at %.0fs", time.time() - t0)
 
     if is_primary_shard(args):
         # Too cheap to shard: only the first (or only) shard runs it.
-        print("Table IV...", flush=True)
+        log.info("Table IV...")
         rows = rtt_table(servers=60, samples=300, seed=0)
         out["table4"] = [
             {"tb": r.label, "mu": r.mu, "sigma": r.sigma} for r in rows
         ]
 
-    print("Figure 2...", flush=True)
+    log.info("Figure 2...")
     traces = figure2_traces(
         sizes=FIGURE2_SIZES, iterations=FIGURE2_ITERATIONS, **exec_kw
     )
     out["figure2"] = {str(k): v for k, v in traces.items()}
-    print(f"all done at {time.time() - t0:.0f}s", flush=True)
+    log.info("all done at %.0fs", time.time() - t0)
 
     with open(args.out, "w") as f:
         json.dump(out, f, indent=1)
-    print(f"written {args.out}")
+    log.info("written %s", args.out)
 
 
 if __name__ == "__main__":

@@ -41,6 +41,7 @@ from typing import Any, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
+from .. import obs as _obs
 from ..core import baselines as _baselines
 from ..core.distributed import MinEOptimizer
 from ..core.game import best_response_dynamics
@@ -112,6 +113,10 @@ class FunctionSolver:
         t0 = time.perf_counter()
         out = self.fn(inst, rng=rng, optimum=optimum, **options)
         wall = time.perf_counter() - t0
+        ctx = _obs.get_active()
+        if ctx is not None:
+            ctx.metrics.counter(f"engine.solve.{self.name}").inc()
+            ctx.metrics.histogram("engine.solve_wall_s").observe(wall)
         extras: dict[str, Any] = {}
         if isinstance(out, tuple):
             state, extras = out

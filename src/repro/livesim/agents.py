@@ -111,6 +111,7 @@ class ExchangeAgents:
         backoff_max: float = 8.0,
         on_exchange: Callable[[PairExchange], None] | None = None,
         trace: list | None = None,
+        obs=None,
     ):
         m = state.inst.m
         if len(seeds) != m:
@@ -137,6 +138,8 @@ class ExchangeAgents:
         self.rngs = [np.random.default_rng(s) for s in seeds]
         self._jitter = [BufferedUniform(r) for r in self.rngs]
         self.stats = AgentStats()
+        # Tracing hook (repro.obs): None keeps every handler untraced.
+        self._tracer = obs.tracer if obs is not None else None
         self.owners = np.flatnonzero(state.inst.loads > 0)
         #: per-server busy slot: ``None`` or ``(role, peer, token)``
         self.busy: list[tuple[str, int, int] | None] = [None] * m
@@ -266,6 +269,20 @@ class ExchangeAgents:
         self.busy[i] = (_PROPOSING, j, token)
         self.stats.proposals += 1
         self._record("propose", self.env.now, i, j, token)
+        tracer = self._tracer
+        if tracer is not None:
+            # Causal link into gossip: the parent is the merge that last
+            # changed this server's view — the information the partner
+            # choice was computed from.
+            psid = tracer.instant(
+                "agent.propose",
+                self.env.now,
+                parent=tracer.lookup(("view", i)),
+                track=i,
+                peer=j,
+                token=token,
+            )
+            tracer.bind(("xchg", token), psid)
         self.net.send(i, j, self._on_propose, (i, j, token))
         self.env.call_in(
             self.propose_timeout, self._expire, (i, token, _PROPOSING)
@@ -283,6 +300,17 @@ class ExchangeAgents:
                 self.stats.accept_timeouts += 1
             self._bump_backoff(i)
             self._record("timeout", self.env.now, i, role, token)
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.instant(
+                    "agent.timeout",
+                    self.env.now,
+                    parent=tracer.lookup(("xchg", token)),
+                    track=i,
+                    role=role,
+                )
+                if role == _PROPOSING:
+                    tracer.take(("xchg", token))  # handshake is over
 
     # ------------------------------------------------------------------
     # Message handlers (run at the destination at delivery time)
@@ -298,12 +326,30 @@ class ExchangeAgents:
             self.stats.accepts += 1
             self.backoff[j] = 1.0  # accepted: this server is productive
             self._record("accept", self.env.now, j, i, token)
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.instant(
+                    "agent.accept",
+                    self.env.now,
+                    parent=tracer.lookup(("xchg", token)),
+                    track=j,
+                    peer=i,
+                )
             self.net.send(j, i, self._on_accept, (i, j, token))
             self.env.call_in(
                 self.accept_timeout, self._expire, (j, token, _ACCEPTED)
             )
         else:
             self.stats.rejects += 1
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.instant(
+                    "agent.reject",
+                    self.env.now,
+                    parent=tracer.lookup(("xchg", token)),
+                    track=j,
+                    peer=i,
+                )
             self.net.send(j, i, self._on_reject, (i, j, token))
 
     def _on_accept(self, msg) -> None:
@@ -315,6 +361,8 @@ class ExchangeAgents:
             self.net.send(i, j, self._on_done, (i, j, token))
             return
         self.busy[i] = None
+        tracer = self._tracer
+        psid = tracer.take(("xchg", token)) if tracer is not None else None
         if self.alive[j]:
             ex = apply_pair_exchange(
                 self.state, i, j, min_improvement=self.min_improvement
@@ -328,6 +376,16 @@ class ExchangeAgents:
                 self._record(
                     "exchange", self.env.now, i, j, ex.improvement, ex.moved
                 )
+                if tracer is not None:
+                    tracer.instant(
+                        "agent.exchange",
+                        self.env.now,
+                        parent=psid,
+                        track=i,
+                        peer=j,
+                        improvement=float(ex.improvement),
+                        moved=float(ex.moved),
+                    )
                 if self.on_exchange is not None:
                     self.on_exchange(ex)
             else:
@@ -344,6 +402,8 @@ class ExchangeAgents:
         if self.busy[i] == (_PROPOSING, j, token):
             self.busy[i] = None
             self._bump_backoff(i)
+            if self._tracer is not None:
+                self._tracer.take(("xchg", token))  # handshake is over
         else:
             self.stats.stale_messages += 1
 

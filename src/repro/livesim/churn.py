@@ -76,26 +76,43 @@ def start_churn(
     agent_interval: float,
     on_fail: Callable[[int], None],
     on_rejoin: Callable[[int], None],
+    metrics=None,
 ) -> None:
     """Spawn one leave/rejoin process per server.
 
     No process is spawned when ``model.rate == 0`` — churn at rate zero
     is *exactly* churn disabled, which the determinism tests assert.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) optionally counts
+    restarts under ``churn.*`` and observes the drawn downtimes; churn is
+    event-scale rare, so the record cost is irrelevant either way.
     """
     if model.rate == 0.0:
         return
     mean_up = agent_interval / model.rate
     mean_down = agent_interval * model.downtime_rounds
     rngs = [np.random.default_rng(s) for s in seeds]
+    if metrics is not None:
+        c_fail = metrics.counter("churn.failures")
+        c_rejoin = metrics.counter("churn.rejoins")
+        h_down = metrics.histogram("churn.downtime")
+    else:
+        c_fail = c_rejoin = h_down = None
 
     # Self-re-arming callbacks (engine fast path): each server alternates
     # between one pending fail event and one pending rejoin event.
     def _fail(j: int) -> None:
         on_fail(j)
-        env.call_in(rngs[j].exponential(mean_down), _rejoin, j)
+        down = rngs[j].exponential(mean_down)
+        if c_fail is not None:
+            c_fail.inc()
+            h_down.observe(down)
+        env.call_in(down, _rejoin, j)
 
     def _rejoin(j: int) -> None:
         on_rejoin(j)
+        if c_rejoin is not None:
+            c_rejoin.inc()
         env.call_in(rngs[j].exponential(mean_up), _fail, j)
 
     for j in range(len(seeds)):

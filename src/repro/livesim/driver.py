@@ -29,6 +29,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from .. import obs as _obs
 from ..core.instance import Instance
 from ..core.state import AllocationState
 from ..sim.events import Environment
@@ -179,6 +180,9 @@ class LiveReport:
     requests_resubmitted: int = 0  #: dropped by a crash, re-sent by owners
     request_mean_latency: float = float("nan")
     trace: list = field(default_factory=list, repr=False)
+    #: Wall-clock attribution table by callback kind (only with
+    #: ``LiveSimulation(..., profile=True)``; see ``repro.obs.profile``).
+    profile: dict | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     @property
@@ -240,6 +244,15 @@ class LiveSimulation:
         Event-queue scheduler (``"auto"``, ``"heap"``, ``"calendar"`` —
         see :class:`repro.sim.events.Environment`); all three produce
         identical traces, which the determinism suite asserts.
+    obs:
+        An :class:`repro.obs.Observability` context; defaults to the
+        process-global one installed by :func:`repro.obs.enable` (usually
+        ``None`` — the whole plane off).  Instrumentation never draws
+        randomness or schedules events, so an observed run replays the
+        exact event trace of an unobserved one.
+    profile:
+        Arm the wall-clock callback profiler; the attribution table is
+        returned in :attr:`LiveReport.profile`.
     """
 
     def __init__(
@@ -251,6 +264,8 @@ class LiveSimulation:
         state: AllocationState | None = None,
         optimum: "AllocationState | float | None" = None,
         scheduler: str = "auto",
+        obs: "_obs.Observability | None" = None,
+        profile: bool = False,
     ):
         self.inst = inst
         self.config = (config if config is not None else LiveConfig()).resolve(inst)
@@ -267,7 +282,14 @@ class LiveSimulation:
 
         m = inst.m
         cfg = self.config
+        self.obs = obs if obs is not None else _obs.get_active()
+        self._tracer = self.obs.tracer if self.obs is not None else None
         self.env = Environment(scheduler=scheduler)
+        if profile:
+            self._profiler = _obs.CallbackProfiler()
+            self.env.set_profiler(self._profiler)
+        else:
+            self._profiler = None
         self.alive = np.ones(m, dtype=bool)
         self.trace: list = []
         self.failures: list[tuple[float, int]] = []
@@ -304,6 +326,7 @@ class LiveSimulation:
             gossip_par.spawn(m),
             interval=cfg.gossip_interval,
             mode=cfg.gossip_mode,
+            obs=self.obs,
         )
         initial_cost = self.state.total_cost()
         self.agents = ExchangeAgents(
@@ -325,6 +348,7 @@ class LiveSimulation:
             backoff_max=cfg.backoff_max,
             on_exchange=self._on_exchange,
             trace=self.trace,
+            obs=self.obs,
         )
         start_churn(
             self.env,
@@ -336,6 +360,7 @@ class LiveSimulation:
             agent_interval=cfg.agent_interval,
             on_fail=self._fail,
             on_rejoin=self._rejoin,
+            metrics=self.obs.metrics if self.obs is not None else None,
         )
 
         self._requests: list[Request] = []
@@ -344,7 +369,8 @@ class LiveSimulation:
         self._requests_resubmitted = 0
         if cfg.arrival_rate_scale > 0:
             self.servers = [
-                SimServer(self.env, j, float(inst.speeds[j])) for j in range(m)
+                SimServer(self.env, j, float(inst.speeds[j]), obs=self.obs)
+                for j in range(m)
             ]
             self._traffic_rngs: dict[int, np.random.Generator] = {}
             # Seeds are kept for all organizations: a demand shift can
@@ -363,6 +389,18 @@ class LiveSimulation:
         else:
             self.servers = []
 
+        if self.obs is not None:
+            # One surface over every subsystem's counters: the Stats
+            # dataclasses stay the record sites, the registry reads them
+            # live.  Series sample on the agent-interval grid.
+            reg = self.obs.metrics
+            reg.configure_series(cfg.agent_interval)
+            reg.bind("net", self.net.stats, rename={"dropped": "drops"})
+            reg.bind("gossip", self.gossip.stats)
+            reg.bind("agents", self.agents.stats)
+            reg.gauge("sched.queue_depth", fn=lambda: self.env.queue_size)
+            reg.gauge("livesim.cost", fn=lambda: self._running_cost)
+
         self._sample_cost(exact=True)  # t = 0 anchor
 
     # ------------------------------------------------------------------
@@ -370,6 +408,8 @@ class LiveSimulation:
         if exact or not self._incremental_cost:
             self._running_cost = self.state.total_cost()
         self._cost_times.append((self.env.now, self._running_cost))
+        if self.obs is not None:
+            self.obs.sample(self.env.now)
 
     def _on_exchange(self, ex) -> None:
         # The improvement is exact (computed from the applied columns),
@@ -386,6 +426,10 @@ class LiveSimulation:
         self.agents.notify_allocation_changed()
         self.failures.append((self.env.now, j))
         self.trace.append(("fail", self.env.now, j, displaced))
+        if self._tracer is not None:
+            self._tracer.instant(
+                "churn.fail", self.env.now, track=j, displaced=float(displaced)
+            )
         if self.servers:
             # A restart loses the server's request queue too: the owners
             # re-submit every dropped request, routed by the live (post-
@@ -406,6 +450,8 @@ class LiveSimulation:
         self.gossip.publish(j)
         self.rejoins.append((self.env.now, j))
         self.trace.append(("rejoin", self.env.now, j))
+        if self._tracer is not None:
+            self._tracer.instant("churn.rejoin", self.env.now, track=j)
         self._sample_cost(exact=True)
 
     def _start_traffic(self, i: int) -> None:
@@ -440,10 +486,20 @@ class LiveSimulation:
         self._requests_generated += 1
         j = self._route(i, rng)
         delay = float(self.inst.latency[i, j])
+        tracer = self._tracer
         if not self.alive[j] or not np.isfinite(delay):
             self._requests_failed += 1
+            if tracer is not None:
+                tracer.instant(
+                    "request.drop", self.env.now, track=i, owner=i, server=j
+                )
         else:
             req = Request(owner=i, server=j, t_submit=self.env.now)
+            if tracer is not None:
+                # submit → route as one instant: routing is synchronous.
+                req.trace_id = tracer.instant(
+                    "request.submit", self.env.now, track=i, owner=i, server=j
+                )
             self._requests.append(req)
             self.env.call_in(delay, self._request_arrives, req)
         self.env.call_in(rng.exponential(1.0 / rate), self._traffic_fire, i)
@@ -454,6 +510,15 @@ class LiveSimulation:
         the whole journey including the lost attempt."""
         i = req.owner
         self._requests_resubmitted += 1
+        tracer = self._tracer
+        if tracer is not None:
+            resub_sid = tracer.instant(
+                "request.resubmit",
+                self.env.now,
+                parent=req.trace_id or None,
+                track=i,
+                owner=i,
+            )
         if self.inst.loads[i] <= 0:
             self._requests_failed += 1
             return
@@ -461,8 +526,15 @@ class LiveSimulation:
         delay = float(self.inst.latency[i, j])
         if not self.alive[j] or not np.isfinite(delay):
             self._requests_failed += 1
+            if tracer is not None:
+                tracer.instant(
+                    "request.drop", self.env.now,
+                    parent=resub_sid, track=i, owner=i, server=j,
+                )
             return
         retry = Request(owner=i, server=j, t_submit=req.t_submit)
+        if tracer is not None:
+            retry.trace_id = resub_sid
         self._requests.append(retry)
         self.env.call_in(delay, self._request_arrives, retry)
 
@@ -471,6 +543,15 @@ class LiveSimulation:
             self.servers[req.server].submit(req)
         else:
             self._requests_failed += 1
+            if self._tracer is not None:
+                self._tracer.instant(
+                    "request.drop",
+                    self.env.now,
+                    parent=req.trace_id or None,
+                    track=req.server,
+                    owner=req.owner,
+                    server=req.server,
+                )
 
     # ------------------------------------------------------------------
     @property
@@ -506,6 +587,12 @@ class LiveSimulation:
             for i in np.flatnonzero((old_rates <= 0) & (self._traffic_rates > 0)):
                 self._start_traffic(int(i))
         self.trace.append(("demand", self.env.now, float(new_inst.total_load)))
+        if self._tracer is not None:
+            self._tracer.instant(
+                "livesim.demand_shift",
+                self.env.now,
+                total_load=float(new_inst.total_load),
+            )
         self._sample_cost(exact=True)
 
     def run(
@@ -567,4 +654,7 @@ class LiveSimulation:
             requests_resubmitted=self._requests_resubmitted,
             request_mean_latency=mean_lat,
             trace=self.trace,
+            profile=(
+                self._profiler.table() if self._profiler is not None else None
+            ),
         )

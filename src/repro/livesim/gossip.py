@@ -141,6 +141,7 @@ class AsyncGossip:
         *,
         interval: float,
         mode: str = "full",
+        obs=None,
     ):
         m = inst.m
         if len(seeds) != m:
@@ -156,6 +157,9 @@ class AsyncGossip:
         self.mode = mode
         self.rngs = [np.random.default_rng(s) for s in seeds]
         self.stats = GossipStats()
+        # Tracing hook (repro.obs): None keeps every handler on the
+        # untraced fast path — one attribute truth-test per message.
+        self._tracer = obs.tracer if obs is not None else None
 
         self._m = m
         self._own_version = [0] * m
@@ -509,37 +513,112 @@ class AsyncGossip:
             self.publish(i)
             j = self._peers_list[i][draw.next()]
             self.stats.pushes += 1
-            self.net.send(i, j, self._push_handler, self._packet(i, j))
+            tracer = self._tracer
+            if tracer is None:
+                self.net.send(i, j, self._push_handler, self._packet(i, j))
+            else:
+                # Tracing appends the flight-span id to the packet; the
+                # handlers index-unpack, so both shapes are accepted.
+                sid = tracer.begin(
+                    "gossip.push", self.env.now, track=i, src=i, dst=j
+                )
+                if not self.net.send(
+                    i, j, self._push_handler, self._packet(i, j) + (sid,)
+                ):
+                    tracer.abandon(sid)  # dropped at send time
         self._arm(i)
 
+    def _merge_traced(self, src, dst, body, parent, now) -> None:
+        """Merge plus trace: a merge that changed ``dst``'s view content
+        records a ``gossip.merge`` instant (parented on the carrying
+        message's flight span) and becomes the current cause behind
+        ``("view", dst)`` — the key the agents' proposals parent onto."""
+        before = self.update_counts[dst]
+        self._merge(dst, body)
+        if self.update_counts[dst] != before:
+            tracer = self._tracer
+            msid = tracer.instant(
+                "gossip.merge", now, parent=parent, track=dst, src=src
+            )
+            tracer.bind(("view", dst), msid)
+
     def _on_push(self, packet) -> None:
-        src, dst, rows = packet
-        self._merge(dst, rows)
-        # Pull half of the push–pull exchange: reply with the merged table.
+        src, dst, rows = packet[0], packet[1], packet[2]
+        tracer = self._tracer
+        if tracer is None:
+            self._merge(dst, rows)
+            # Pull half of the push–pull exchange: reply with the merged
+            # table.
+            self.stats.pull_replies += 1
+            self.net.send(dst, src, self._on_pull_reply, self._packet(dst, src))
+            return
+        now = self.env.now
+        push_sid = packet[3] if len(packet) > 3 else None
+        if push_sid is not None:
+            tracer.end(push_sid, now)
+        self._merge_traced(src, dst, rows, push_sid, now)
         self.stats.pull_replies += 1
-        self.net.send(dst, src, self._on_pull_reply, self._packet(dst, src))
+        sid = tracer.begin(
+            "gossip.pull_reply", now, parent=push_sid, track=dst, src=dst, dst=src
+        )
+        if not self.net.send(
+            dst, src, self._on_pull_reply, self._packet(dst, src) + (sid,)
+        ):
+            tracer.abandon(sid)
 
     def _on_pull_reply(self, packet) -> None:
-        src, dst, rows = packet
-        self._merge(dst, rows)
+        src, dst, rows = packet[0], packet[1], packet[2]
+        tracer = self._tracer
+        if tracer is None:
+            self._merge(dst, rows)
+            return
+        now = self.env.now
+        sid = packet[3] if len(packet) > 3 else None
+        if sid is not None:
+            tracer.end(sid, now)
+        self._merge_traced(src, dst, rows, sid, now)
 
     def _on_push_delta(self, packet) -> None:
-        src, dst, body = packet
+        src, dst, body = packet[0], packet[1], packet[2]
         # Assemble the reply *before* merging the push: entries about to
         # be merged in came from src, which therefore cannot need them
         # back (they would merge as version-equal no-ops) — omitting
         # them keeps the reply a true delta.
         reply_body = self._packet_body(dst, src)
-        self._merge(dst, body)
+        tracer = self._tracer
+        if tracer is None:
+            self._merge(dst, body)
+            self.stats.pull_replies += 1
+            # The echoed assembly clock doubles as the push's ack.
+            self.net.send(
+                dst, src, self._on_pull_reply_delta, (dst, src, reply_body, body[0])
+            )
+            return
+        now = self.env.now
+        push_sid = packet[3] if len(packet) > 3 else None
+        if push_sid is not None:
+            tracer.end(push_sid, now)
+        self._merge_traced(src, dst, body, push_sid, now)
         self.stats.pull_replies += 1
-        # The echoed assembly clock doubles as the push's acknowledgment.
-        self.net.send(
-            dst, src, self._on_pull_reply_delta, (dst, src, reply_body, body[0])
+        sid = tracer.begin(
+            "gossip.pull_reply", now, parent=push_sid, track=dst, src=dst, dst=src
         )
+        if not self.net.send(
+            dst, src, self._on_pull_reply_delta, (dst, src, reply_body, body[0], sid)
+        ):
+            tracer.abandon(sid)
 
     def _on_pull_reply_delta(self, packet) -> None:
-        src, dst, body, echo = packet
-        self._merge(dst, body)
+        src, dst, body, echo = packet[0], packet[1], packet[2], packet[3]
+        tracer = self._tracer
+        if tracer is None:
+            self._merge(dst, body)
+        else:
+            now = self.env.now
+            sid = packet[4] if len(packet) > 4 else None
+            if sid is not None:
+                tracer.end(sid, now)
+            self._merge_traced(src, dst, body, sid, now)
         # The reply proves the push assembled at clock `echo` was merged
         # by src: everything dst had modified up to then is now covered.
         if echo > self._ack_floor[dst, src]:

@@ -73,9 +73,11 @@ class ControlNetwork:
         dst: int,
         handler: Callable[[Any], None],
         payload: Any,
-    ) -> None:
+    ) -> bool:
         """Schedule ``handler(payload)`` at the destination after the
-        one-way delay; may drop the message.
+        one-way delay; may drop the message.  Returns whether the
+        message was put in flight (``False``: dropped at send time or no
+        path — tracing callers abandon the flight span).
 
         Runs on the engine's callback fast path: one queue entry per
         message, no event object and no per-send closure.
@@ -86,12 +88,13 @@ class ControlNetwork:
         )
         if not isfinite(delay):
             self.stats.unreachable += 1
-            return
+            return False
         self.stats.sent += 1
         if self.p_drop > 0.0 and self.drop_rng.random() < self.p_drop:
             self.stats.dropped += 1
-            return
+            return False
         self.env.call_in(delay, self._deliver, (dst, handler, payload))
+        return True
 
     def _deliver(self, msg: tuple) -> None:
         dst, handler, payload = msg

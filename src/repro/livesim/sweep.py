@@ -75,50 +75,71 @@ def evaluate_live_cell(cell: LiveCell) -> dict:
     Both modes report convergence on the same clock — *agent rounds* —
     so sync and async trajectories are directly comparable: a sync MinE
     iteration corresponds to one agent interval of wall-clock sim time.
+
+    Every row carries a ``failure`` field: empty on success, the
+    exception (``"TypeName: message"``) when the cell's evaluation
+    raised.  A failed (or sync — no event engine) cell reports
+    ``events_per_sec=0.0`` rather than NaN, so JSONL stores and
+    ``ScenarioReport.from_csv`` aggregate real numbers and the reason a
+    measurement is missing is recorded instead of silently propagated.
     """
     sc, m, seed = cell.scenario, cell.m, cell.seed
-    inst = cached_instance(sc, m, seed)
-    _opt_state, opt_cost, _wall, _hit = cached_optimum(
-        sc, m, seed, tol=cell.solver_tol
-    )
     row = {
         "scenario": sc.name,
         "m": m,
         "seed": seed,
         "mode": cell.mode,
         "preset": cell.preset,
-        "optimal_cost": opt_cost,
+        "failure": "",
     }
-    if cell.mode == "sync":
-        state = AllocationState.initial(inst)
-        optimizer = MinEOptimizer(state, rng=sc.rng(m, seed), strategy="exact")
-        trace = optimizer.run(
-            max_iterations=cell.rounds, optimum=opt_cost, rel_tol=cell.rel_tol
+    try:
+        inst = cached_instance(sc, m, seed)
+        _opt_state, opt_cost, _wall, _hit = cached_optimum(
+            sc, m, seed, tol=cell.solver_tol
         )
-        errs = trace.relative_errors(opt_cost)
-        within = np.flatnonzero(errs <= cell.rel_tol)
+        row["optimal_cost"] = opt_cost
+        if cell.mode == "sync":
+            state = AllocationState.initial(inst)
+            optimizer = MinEOptimizer(state, rng=sc.rng(m, seed), strategy="exact")
+            trace = optimizer.run(
+                max_iterations=cell.rounds, optimum=opt_cost, rel_tol=cell.rel_tol
+            )
+            errs = trace.relative_errors(opt_cost)
+            within = np.flatnonzero(errs <= cell.rel_tol)
+            row.update(
+                final_error=float(errs[-1]),
+                converged=bool(trace.converged),
+                rounds_to_bound=float(within[0]) if within.size else float("nan"),
+                exchanges=int(sum(s.exchanges for s in trace.sweeps)),
+                failures=0,
+                events_per_sec=0.0,  # lock-stepped: no event engine ran
+                mean_view_age_rounds=0.0,
+            )
+        else:
+            cfg = get_live_preset(cell.preset)
+            sim = LiveSimulation(inst, config=cfg, seed=seed, optimum=opt_cost)
+            report = sim.run(rounds=cell.rounds)
+            interval = sim.config.agent_interval
+            row.update(
+                final_error=report.final_error,
+                converged=bool(report.final_error <= cell.rel_tol),
+                rounds_to_bound=report.time_to_within(cell.rel_tol) / interval,
+                exchanges=report.agents.exchanges,
+                failures=len(report.failures),
+                events_per_sec=report.events_per_sec,
+                mean_view_age_rounds=report.mean_view_age / interval,
+            )
+    except Exception as exc:
         row.update(
-            final_error=float(errs[-1]),
-            converged=bool(trace.converged),
-            rounds_to_bound=float(within[0]) if within.size else float("nan"),
-            exchanges=int(sum(s.exchanges for s in trace.sweeps)),
+            optimal_cost=row.get("optimal_cost", 0.0),
+            final_error=float("inf"),
+            converged=False,
+            rounds_to_bound=float("nan"),
+            exchanges=0,
             failures=0,
-            events_per_sec=float("nan"),
+            events_per_sec=0.0,
             mean_view_age_rounds=0.0,
-        )
-    else:
-        cfg = get_live_preset(cell.preset)
-        sim = LiveSimulation(inst, config=cfg, seed=seed, optimum=opt_cost)
-        report = sim.run(rounds=cell.rounds)
-        interval = sim.config.agent_interval
-        row.update(
-            final_error=report.final_error,
-            converged=bool(report.final_error <= cell.rel_tol),
-            rounds_to_bound=report.time_to_within(cell.rel_tol) / interval,
-            exchanges=report.agents.exchanges,
-            failures=len(report.failures),
-            events_per_sec=report.events_per_sec,
-            mean_view_age_rounds=report.mean_view_age / interval,
+            failure=f"{type(exc).__name__}: {exc}",
         )
     return row
 

@@ -1,0 +1,131 @@
+"""repro.obs — deterministic tracing, unified metrics, and profiling.
+
+One observability plane for the whole simulator stack, in three layers:
+
+* :mod:`repro.obs.metrics` — typed counters/gauges/histograms under
+  dotted names, with sim-time ring-buffer series and one
+  ``snapshot()``/``to_json()`` export.  The per-layer Stats dataclasses
+  stay as the hot-path record sites and are *bound* into the registry as
+  facades.
+* :mod:`repro.obs.trace` — sim-time spans with causal parent ids
+  through gossip → agents → requests, exported as JSONL or Chrome
+  trace-event JSON (Perfetto).  Bit-identical per seed.
+* :mod:`repro.obs.profile` — opt-in wall-clock attribution of engine
+  callback time by callback kind.
+
+**No-op by default.**  Nothing records unless an
+:class:`Observability` context is active; every instrumentation site in
+the simulators guards on a plain attribute being ``None``, which keeps
+disabled-mode overhead inside the perf gate (≤5 % target; measured in
+``benchmarks/test_obs.py``).  Activate either explicitly::
+
+    from repro import obs
+    o = obs.Observability(trace=True)
+    sim = LiveSimulation(inst, config=cfg, seed=7, obs=o)
+    sim.run(rounds=100)
+    o.metrics.to_json("metrics.json")
+    o.tracer.to_chrome("trace.json")     # open in ui.perfetto.dev
+
+or process-globally, which every simulation constructed afterwards picks
+up::
+
+    obs.enable(trace=True)
+    ...
+    obs.disable()
+"""
+
+from __future__ import annotations
+
+from . import logconf
+from .metrics import MetricsRegistry
+from .profile import CallbackProfiler
+from .trace import Tracer
+
+__all__ = [
+    "Observability",
+    "enable",
+    "disable",
+    "get_active",
+    "is_enabled",
+    "logconf",
+    "MetricsRegistry",
+    "Tracer",
+    "CallbackProfiler",
+]
+
+
+class Observability:
+    """One observability context: a metrics registry plus (optionally) a
+    tracer, shared by every component of the simulation it is handed to.
+
+    ``trace=False`` keeps the span layer off while metrics stay live —
+    the cheap configuration.  The cache workload's process-global
+    counters are bound in on construction so every snapshot includes
+    ``cache.*`` alongside the per-simulation subsystems.
+    """
+
+    def __init__(
+        self,
+        *,
+        trace: bool = False,
+        trace_capacity: int = 65536,
+        series_interval: "float | None" = None,
+    ):
+        self.metrics = MetricsRegistry(series_interval=series_interval)
+        self.tracer: "Tracer | None" = Tracer(trace_capacity) if trace else None
+        # Bind the process-global cache counters (lazy import: obs is a
+        # leaf package and must not create an import cycle).
+        from ..workloads.cache import bind_obs as _bind_cache
+
+        _bind_cache(self.metrics)
+
+    def sample(self, now: float) -> None:
+        """Record one sim-time sample of every series-carrying metric."""
+        self.metrics.sample(now)
+
+    def snapshot(self, *, series: bool = True) -> dict:
+        """Metrics snapshot plus trace bookkeeping, one JSON-able dict."""
+        out = self.metrics.snapshot(series=series)
+        if self.tracer is not None:
+            out["trace"] = {
+                "spans": len(self.tracer),
+                "dropped": self.tracer.dropped,
+            }
+        return out
+
+    def to_json(self, path=None, *, series: bool = True) -> str:
+        import json as _json
+
+        text = _json.dumps(self.snapshot(series=series), indent=1, sort_keys=True)
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text + "\n")
+        return text
+
+
+# -- process-global activation ------------------------------------------
+_ACTIVE: "Observability | None" = None
+
+
+def enable(**kwargs) -> Observability:
+    """Install a process-global :class:`Observability` (kwargs as for
+    the constructor) that simulations constructed afterwards adopt as
+    their default.  Returns it."""
+    global _ACTIVE
+    _ACTIVE = Observability(**kwargs)
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Remove the process-global context (the default state)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def get_active() -> "Observability | None":
+    """The process-global context, or ``None`` when disabled."""
+    return _ACTIVE
+
+
+def is_enabled() -> bool:
+    return _ACTIVE is not None

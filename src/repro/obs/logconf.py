@@ -1,0 +1,86 @@
+"""Structured logging for the scripts and examples.
+
+Library modules follow the stdlib idiom — a module-level
+
+    log = logging.getLogger(__name__)
+
+and no handler configuration at import time.  Entry points (the
+``results/`` scripts, the examples) call :func:`configure` exactly once
+to attach a handler; everything else inherits through the ``repro``
+logger hierarchy.
+
+:func:`configure` is idempotent *and* re-entrant: calling it again
+replaces the previously installed handler (and re-evaluates
+``sys.stdout``, so pytest's capture monkey-patching is honoured), which
+keeps repeated in-process script runs — the smoke tests — from stacking
+duplicate handlers.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+__all__ = ["configure", "get_logger"]
+
+#: The root of the package's logger hierarchy.
+ROOT = "repro"
+
+# The handler installed by the last configure() call, so a re-configure
+# swaps it instead of stacking another.
+_HANDLER: "logging.Handler | None" = None
+
+
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per record: machine-readable script output."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True)
+
+
+def configure(
+    level: "int | str" = "INFO",
+    *,
+    json: bool = False,
+    stream=None,
+    name: str = ROOT,
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` logger hierarchy.
+
+    ``stream`` defaults to the *current* ``sys.stdout`` (evaluated per
+    call, not at import).  ``json=True`` swaps the human one-line format
+    for one JSON object per record.  Returns the configured logger.
+    """
+    global _HANDLER
+    logger = logging.getLogger(name)
+    if _HANDLER is not None:
+        logger.removeHandler(_HANDLER)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stdout)
+    if json:
+        handler.setFormatter(_JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+    logger.addHandler(handler)
+    logger.setLevel(level if not isinstance(level, str) else level.upper())
+    logger.propagate = False  # do not double-print through the root logger
+    _HANDLER = handler
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """``logging.getLogger`` with the package root prefixed when the
+    caller passes a bare script name (keeps scripts inside the ``repro``
+    hierarchy that :func:`configure` controls)."""
+    if name != ROOT and not name.startswith(ROOT + "."):
+        name = f"{ROOT}.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,334 @@
+"""Typed metrics registry: counters, gauges and histograms by dotted name.
+
+One surface for every counter in the repo.  Instruments are registered
+under dotted names whose first segment is the owning subsystem
+(``gossip.payload_bytes``, ``agents.exchanges``, ``net.drops``,
+``sched.queue_depth``) and read out together through
+:meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.to_json`.
+
+Two kinds of instrument backing exist:
+
+* **Owned instruments** (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`) hold their own value and are mutated through
+  ``inc`` / ``set`` / ``observe`` at the record site.
+* **Bound instruments** (:meth:`MetricsRegistry.bind`) are thin facades
+  over the numeric fields of an existing stats object — the per-layer
+  ``GossipStats`` / ``NetStats`` / ``AgentStats`` / ``CacheStats``
+  dataclasses keep their plain-attribute hot paths (``stats.merges += 1``
+  costs exactly what it always did, observability on or off) while the
+  registry reads the live values through ``getattr`` at snapshot and
+  sample time.  Back-compat attributes are therefore preserved by
+  construction.
+
+**Sim-time series.**  Every instrument can carry a fixed-interval
+ring-buffer series: :meth:`MetricsRegistry.sample` is called with the
+current *sim* time at natural simulation checkpoints (cost samples, run
+boundaries, epoch shifts) and records at most one point per interval
+bucket per instrument.  Sampling never schedules events and never draws
+randomness, so an instrumented run replays the exact event trace of an
+uninstrumented one — the determinism suite asserts this on every preset.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from collections import deque
+from typing import Any, Callable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "BoundCounter",
+    "Series",
+    "MetricsRegistry",
+]
+
+
+class Series:
+    """Fixed-interval ring buffer of ``(bucket_start_time, value)`` points.
+
+    ``record(t, v)`` maps ``t`` to the bucket ``floor(t / interval)``:
+    repeated records within one bucket overwrite (the series keeps the
+    *last* value seen in each interval), new buckets append, and the
+    deque cap bounds memory for arbitrarily long runs.
+    """
+
+    __slots__ = ("interval", "_points", "_last_bucket")
+
+    def __init__(self, interval: float, capacity: int = 512):
+        if interval <= 0:
+            raise ValueError("series interval must be positive")
+        self.interval = float(interval)
+        self._points: deque[tuple[float, float]] = deque(maxlen=int(capacity))
+        self._last_bucket = None
+
+    def record(self, t: float, value: float) -> None:
+        bucket = int(t / self.interval)
+        if bucket == self._last_bucket:
+            self._points[-1] = (self._points[-1][0], value)
+            return
+        self._last_bucket = bucket
+        self._points.append((bucket * self.interval, value))
+
+    def points(self) -> list[tuple[float, float]]:
+        return list(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+
+class _Instrument:
+    """Shared identity/series plumbing of all instrument kinds."""
+
+    __slots__ = ("name", "series")
+    kind = "instrument"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.series: Series | None = None
+
+    @property
+    def value(self) -> float:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def sample(self, t: float) -> None:
+        if self.series is not None:
+            self.series.record(t, self.value)
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count."""
+
+    __slots__ = ("_value",)
+    kind = "counter"
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._value = 0
+
+    def inc(self, n: float = 1) -> None:
+        self._value += n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(_Instrument):
+    """A point-in-time value: set directly, or backed by a callable
+    (``fn``) read lazily — e.g. the scheduler's live queue depth."""
+
+    __slots__ = ("_value", "fn")
+    kind = "gauge"
+
+    def __init__(self, name: str, fn: Callable[[], float] | None = None):
+        super().__init__(name)
+        self._value = 0.0
+        self.fn = fn
+
+    def set(self, v: float) -> None:
+        self._value = v
+
+    @property
+    def value(self) -> float:
+        return self.fn() if self.fn is not None else self._value
+
+
+#: Default histogram bucket bounds: a wide geometric ladder that covers
+#: sub-millisecond service times and multi-second solver walls alike.
+_DEFAULT_BOUNDS = tuple(10.0 ** (k / 2.0) for k in range(-12, 13))
+
+
+class Histogram(_Instrument):
+    """Count/sum/min/max plus fixed-bound bucket counts."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = _DEFAULT_BOUNDS):
+        super().__init__(name)
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, v: float) -> None:
+        self.bucket_counts[bisect_right(self.bounds, v)] += 1
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+    @property
+    def value(self) -> float:
+        """Sampled series track the observation count."""
+        return self.count
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class BoundCounter(_Instrument):
+    """A facade instrument whose value is a live attribute of an existing
+    stats object — the migration path of the per-layer Stats dataclasses
+    onto the registry without touching their hot-path increments."""
+
+    __slots__ = ("_obj", "_field")
+    kind = "counter"
+
+    def __init__(self, name: str, obj: Any, field: str):
+        super().__init__(name)
+        self._obj = obj
+        self._field = field
+
+    @property
+    def value(self) -> float:
+        return getattr(self._obj, self._field)
+
+
+class MetricsRegistry:
+    """All instruments of one observability context, by dotted name.
+
+    ``series_interval`` enables the sim-time ring-buffer series on every
+    instrument (lazily, at first registration after it is set); leave it
+    ``None`` and call :meth:`configure_series` once the simulation's
+    natural interval is known (the driver uses its agent interval).
+    """
+
+    def __init__(
+        self,
+        *,
+        series_interval: float | None = None,
+        series_capacity: int = 512,
+    ):
+        self._instruments: dict[str, _Instrument] = {}
+        self.series_interval = series_interval
+        self.series_capacity = int(series_capacity)
+
+    # ------------------------------------------------------------------
+    def configure_series(self, interval: float, capacity: int | None = None) -> None:
+        """Set the sampling interval (first caller wins: a tracking run's
+        epochs must not re-bucket the series mid-flight) and retrofit a
+        series onto already-registered instruments."""
+        if self.series_interval is None:
+            self.series_interval = float(interval)
+            if capacity is not None:
+                self.series_capacity = int(capacity)
+            for inst in self._instruments.values():
+                if inst.series is None:
+                    inst.series = Series(self.series_interval, self.series_capacity)
+
+    def _add(self, inst: _Instrument, overwrite: bool) -> _Instrument:
+        prior = self._instruments.get(inst.name)
+        if prior is not None and not overwrite:
+            if type(prior) is not type(inst):
+                raise ValueError(
+                    f"metric {inst.name!r} already registered as {prior.kind}"
+                )
+            return prior
+        if self.series_interval is not None:
+            inst.series = Series(self.series_interval, self.series_capacity)
+        self._instruments[inst.name] = inst
+        return inst
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter ``name``."""
+        return self._add(Counter(name), overwrite=False)
+
+    def gauge(self, name: str, fn: Callable[[], float] | None = None) -> Gauge:
+        """Get-or-create the gauge ``name`` (``fn`` rebinds the reader)."""
+        return self._add(Gauge(name, fn), overwrite=fn is not None)
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = _DEFAULT_BOUNDS
+    ) -> Histogram:
+        """Get-or-create the histogram ``name``."""
+        return self._add(Histogram(name, bounds), overwrite=False)
+
+    def bind(
+        self,
+        prefix: str,
+        obj: Any,
+        fields: "tuple[str, ...] | None" = None,
+        rename: "dict[str, str] | None" = None,
+    ) -> None:
+        """Expose the numeric fields of a stats object as
+        ``prefix.field`` counters (facade: values are read live).
+
+        ``fields`` defaults to every public int/float attribute;
+        ``rename`` maps attribute names to metric names.  Re-binding a
+        prefix replaces the previous object (a fresh simulation's stats
+        take over the names).
+        """
+        if fields is None:
+            fields = tuple(
+                k
+                for k, v in vars(obj).items()
+                if not k.startswith("_") and isinstance(v, (int, float))
+            )
+        rename = rename or {}
+        for f in fields:
+            name = f"{prefix}.{rename.get(f, f)}"
+            self._add(BoundCounter(name, obj, f), overwrite=True)
+
+    def get(self, name: str) -> _Instrument | None:
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    # ------------------------------------------------------------------
+    def sample(self, t: float) -> None:
+        """Record one sim-time sample of every instrument that carries a
+        series (at most one point per interval bucket)."""
+        if self.series_interval is None:
+            return
+        for inst in self._instruments.values():
+            inst.sample(t)
+
+    def snapshot(self, *, series: bool = True) -> dict:
+        """One JSON-able dict of everything the registry knows."""
+        values: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        series_out: dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Histogram):
+                histograms[name] = inst.summary()
+            else:
+                values[name] = inst.value
+            if series and inst.series is not None and len(inst.series):
+                series_out[name] = {
+                    "interval": inst.series.interval,
+                    "points": [list(p) for p in inst.series.points()],
+                }
+        out: dict[str, Any] = {"metrics": values, "histograms": histograms}
+        if series:
+            out["series"] = series_out
+        return out
+
+    def to_json(self, path=None, *, series: bool = True) -> str:
+        """Serialize :meth:`snapshot` (optionally also write it to
+        ``path``); deterministic byte-for-byte for a deterministic run."""
+        text = json.dumps(self.snapshot(series=series), indent=1, sort_keys=True)
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text + "\n")
+        return text

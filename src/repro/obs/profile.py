@@ -1,0 +1,101 @@
+"""Opt-in wall-clock profiler for the event engine.
+
+Answers the ROADMAP question "where do events/s go at m=2000": when
+armed on an :class:`~repro.sim.events.Environment`, every executed
+callback is timed with ``perf_counter`` and bucketed by *callback kind*
+— the qualified name of the underlying function, so all bound-method
+instances of ``AsyncGossip._tick`` land in one bucket regardless of
+which object or scheduling produced them.
+
+This is the one deliberately *non*-deterministic layer of ``repro.obs``
+(wall time varies run to run); it therefore never feeds back into the
+simulation and is off unless explicitly requested
+(``LiveSimulation(..., profile=True)`` or ``env.set_profiler``).
+Numbers are comparable across machines only after dividing by the
+calibration throughput stored next to them in the bench JSON — see the
+README's profiler caveats.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CallbackProfiler"]
+
+
+class CallbackProfiler:
+    """Per-callback-kind wall time and call counts.
+
+    The engine's hot loop calls :meth:`add` once per executed callback;
+    label resolution (``__qualname__`` of the unbound function) happens
+    here, per call, because bound methods are fresh objects on every
+    schedule and cannot be pre-keyed.
+    """
+
+    __slots__ = ("buckets", "enabled")
+
+    def __init__(self):
+        self.buckets: dict[str, list] = {}  # label -> [calls, seconds]
+        self.enabled = True
+
+    def add(self, fn, dt: float) -> None:
+        label = getattr(getattr(fn, "__func__", fn), "__qualname__", None)
+        if label is None:  # partials, odd callables
+            label = repr(getattr(fn, "func", fn)).split(" at 0x")[0]
+        bucket = self.buckets.get(label)
+        if bucket is None:
+            self.buckets[label] = [1, dt]
+        else:
+            bucket[0] += 1
+            bucket[1] += dt
+
+    # -- reading --------------------------------------------------------
+    @property
+    def total_calls(self) -> int:
+        return sum(b[0] for b in self.buckets.values())
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(b[1] for b in self.buckets.values())
+
+    def table(self) -> dict:
+        """The events/s attribution table: per callback kind, calls,
+        total seconds, share of profiled time, and the per-kind events/s
+        this callback alone would sustain.  JSON-able; sorted by time
+        descending so the first row is the hot spot."""
+        total = self.total_seconds
+        rows = []
+        for label, (calls, seconds) in sorted(
+            self.buckets.items(), key=lambda kv: -kv[1][1]
+        ):
+            rows.append(
+                {
+                    "kind": label,
+                    "calls": calls,
+                    "seconds": seconds,
+                    "share": seconds / total if total > 0 else 0.0,
+                    "events_per_sec": calls / seconds if seconds > 0 else None,
+                }
+            )
+        return {
+            "total_calls": self.total_calls,
+            "total_seconds": total,
+            "rows": rows,
+        }
+
+    def format_table(self, top: int = 12) -> str:
+        """A fixed-width text rendering of :meth:`table` for reports."""
+        t = self.table()
+        lines = [
+            f"{'callback kind':40s} {'calls':>9s} {'seconds':>9s} {'share':>6s}",
+        ]
+        for row in t["rows"][:top]:
+            lines.append(
+                f"{row['kind'][:40]:40s} {row['calls']:9d} "
+                f"{row['seconds']:9.4f} {row['share']:5.1%}"
+            )
+        lines.append(
+            f"{'TOTAL':40s} {t['total_calls']:9d} {t['total_seconds']:9.4f}"
+        )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.buckets.clear()

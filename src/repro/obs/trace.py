@@ -1,0 +1,199 @@
+"""Deterministic sim-time trace spans with causal parent ids.
+
+The tracer records *sim-time* spans and instants into a bounded ring and
+exports them as JSON-lines or as Chrome trace-event JSON (loadable in
+Perfetto / ``chrome://tracing``).  Three protocols thread causality
+through it:
+
+* gossip ``push`` → ``pull-reply`` → ``merge``,
+* agent ``propose`` → ``accept``/``reject`` → ``apply`` (the exchange),
+* request ``submit`` → ``route`` → ``service``/``drop`` → ``resubmit``.
+
+**Determinism.**  Span ids are consecutive integers handed out in event
+order.  Because the simulator pops events in a bit-identical
+``(time, seq)`` order per seed, the id sequence — and hence every
+``parent`` reference and the exported byte stream — is identical across
+runs of the same seed.  Nothing here reads a wall clock, ``id()`` or a
+random source, and the tracer never schedules events, so an instrumented
+run replays the exact event trace of an uninstrumented one.
+
+Cross-event causality uses the correlation table: the site that *knows*
+the cause registers it under a protocol key (``("view", i)`` after a
+gossip merge changed server *i*'s view; ``("xchg", token)`` when a
+proposal goes out), and the downstream site looks the key up to set its
+``parent``.  Keys are plain tuples of ints/strings — never object
+identities.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One finished span (``dur >= 0``) or instant (``dur is None``)."""
+
+    __slots__ = ("sid", "name", "ts", "dur", "parent", "track", "args")
+
+    def __init__(self, sid, name, ts, dur, parent, track, args):
+        self.sid = sid
+        self.name = name
+        self.ts = ts
+        self.dur = dur
+        self.parent = parent
+        self.track = track
+        self.args = args
+
+    def to_dict(self) -> dict:
+        d = {"sid": self.sid, "name": self.name, "ts": self.ts}
+        if self.dur is not None:
+            d["dur"] = self.dur
+        if self.parent is not None:
+            d["parent"] = self.parent
+        if self.track is not None:
+            d["track"] = self.track
+        if self.args:
+            d["args"] = self.args
+        return d
+
+
+class Tracer:
+    """Bounded ring of deterministic spans plus the correlation table.
+
+    ``capacity`` bounds memory: the oldest finished spans fall off the
+    ring (open spans are unaffected — they live in a side table until
+    ended).  ``track`` is the timeline lane (Chrome's ``tid``): by
+    convention the server index for per-server protocol work, or a
+    small negative constant for global lanes.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        self._ring: deque[Span] = deque(maxlen=int(capacity))
+        self._seq = 0
+        # open spans: sid -> (name, ts_begin, parent, track, args)
+        self._open: dict[int, tuple] = {}
+        # correlation: protocol key -> causing span id
+        self._corr: dict[tuple, int] = {}
+        self.dropped = 0  # finished spans evicted from the ring
+
+    # -- recording ------------------------------------------------------
+    def _next_sid(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _push(self, span: Span) -> None:
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self._ring.append(span)
+
+    def span(self, name, ts, dur, *, parent=None, track=None, **args) -> int:
+        """Record a complete span in one call; returns its id."""
+        sid = self._next_sid()
+        self._push(Span(sid, name, ts, dur, parent, track, args or None))
+        return sid
+
+    def instant(self, name, ts, *, parent=None, track=None, **args) -> int:
+        """Record a zero-duration point event; returns its id."""
+        sid = self._next_sid()
+        self._push(Span(sid, name, ts, None, parent, track, args or None))
+        return sid
+
+    def begin(self, name, ts, *, parent=None, track=None, **args) -> int:
+        """Open a span whose end is a later simulation event (message
+        flight, request service); close it with :meth:`end`."""
+        sid = self._next_sid()
+        self._open[sid] = (name, ts, parent, track, args or None)
+        return sid
+
+    def end(self, sid: int, ts: float, **extra) -> None:
+        """Close a span opened by :meth:`begin`.  Unknown / already
+        closed ids are ignored (a dropped packet's flight span is simply
+        abandoned)."""
+        opened = self._open.pop(sid, None)
+        if opened is None:
+            return
+        name, ts0, parent, track, args = opened
+        if extra:
+            args = {**(args or {}), **extra}
+        self._push(Span(sid, name, ts0, ts - ts0, parent, track, args))
+
+    def abandon(self, sid: int) -> None:
+        """Discard an open span without recording it (lost message)."""
+        self._open.pop(sid, None)
+
+    # -- causality ------------------------------------------------------
+    def bind(self, key: tuple, sid: int) -> None:
+        """Register span ``sid`` as the current cause under ``key``."""
+        self._corr[key] = sid
+
+    def lookup(self, key: tuple):
+        """The current causing span id for ``key`` (or ``None``)."""
+        return self._corr.get(key)
+
+    def take(self, key: tuple):
+        """Pop-and-return the causing span id for ``key``."""
+        return self._corr.pop(key, None)
+
+    # -- reading / export ----------------------------------------------
+    def spans(self) -> list[Span]:
+        """The finished spans currently in the ring, in record order."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._open.clear()
+        self._corr.clear()
+        self.dropped = 0
+        # _seq deliberately NOT reset: ids stay unique per tracer life.
+
+    def to_jsonl(self, path=None) -> str:
+        """One JSON object per line, fixed key order — byte-identical
+        across same-seed runs (the determinism suite asserts this)."""
+        lines = [
+            json.dumps(s.to_dict(), sort_keys=True, separators=(",", ":"))
+            for s in self._ring
+        ]
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text)
+        return text
+
+    def to_chrome(self, path=None, *, time_unit_us: float = 1000.0) -> dict:
+        """Chrome trace-event JSON (Perfetto-loadable).
+
+        Sim time is unitless-milliseconds by repo convention, so the
+        default scale maps 1 sim-time unit to 1000 trace µs.  Span ids
+        and parents are carried in ``args`` (Perfetto shows them in the
+        details pane); ``tid`` is the tracer's ``track`` lane.
+        """
+        events = []
+        for s in self._ring:
+            args = dict(s.args or {})
+            args["sid"] = s.sid
+            if s.parent is not None:
+                args["parent"] = s.parent
+            ev = {
+                "name": s.name,
+                "ph": "X" if s.dur is not None else "i",
+                "ts": s.ts * time_unit_us,
+                "pid": 1,
+                "tid": s.track if s.track is not None else 0,
+                "args": args,
+            }
+            if s.dur is not None:
+                ev["dur"] = s.dur * time_unit_us
+            else:
+                ev["s"] = "t"  # instant scope: thread
+            events.append(ev)
+        doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+        if path is not None:
+            with open(path, "w") as fh:
+                json.dump(doc, fh, sort_keys=True)
+        return doc

@@ -33,6 +33,7 @@ import heapq
 import itertools
 from bisect import insort
 from math import isfinite
+from time import perf_counter
 from typing import Any, Callable, Generator
 
 __all__ = [
@@ -347,6 +348,18 @@ class Environment:
         self._auto = scheduler == "auto"
         self._counter = itertools.count()
         self._pending_callbacks: list[tuple[Callable[[Event], None], Event]] = []
+        #: Opt-in wall-clock profiler (``repro.obs.CallbackProfiler``).
+        #: ``None`` keeps :meth:`run` on the untimed fast path.
+        self._profiler = None
+
+    def set_profiler(self, profiler) -> None:
+        """Arm (or with ``None`` disarm) per-callback wall-clock timing.
+
+        Profiling only observes wall time — it never touches the clock,
+        the queue, or event order, so a profiled run replays the exact
+        event trace of an unprofiled one (at lower events/s).
+        """
+        self._profiler = profiler
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -416,6 +429,7 @@ class Environment:
         clock passes ``until``."""
         pend = self._pending_callbacks
         processed = self.processed
+        prof = self._profiler  # hoisted: one local truth test per event
         try:
             while True:
                 if pend:
@@ -437,7 +451,12 @@ class Environment:
                     if head[2]:  # bare callback: fn(value)
                         self.now = head[0]
                         processed += 1
-                        head[3](head[4])
+                        if prof is None:
+                            head[3](head[4])
+                        else:
+                            t0 = perf_counter()
+                            head[3](head[4])
+                            prof.add(head[3], perf_counter() - t0)
                         if pend or queue is not self._queue:
                             break
                     else:
@@ -459,11 +478,17 @@ class Environment:
         # executed prefix is dropped even when a callback raises, so a
         # re-entered drain (run()'s finally) never runs a callback twice.
         pend = self._pending_callbacks
+        prof = self._profiler
         i = 0
         try:
             while i < len(pend):
                 cb, ev = pend[i]
                 i += 1
-                cb(ev)
+                if prof is None:
+                    cb(ev)
+                else:
+                    t0 = perf_counter()
+                    cb(ev)
+                    prof.add(cb, perf_counter() - t0)
         finally:
             del pend[:i]

@@ -20,6 +20,10 @@ class Request:
     t_submit: float = 0.0
     t_arrive: float = field(default=float("nan"))
     t_complete: float = field(default=float("nan"))
+    #: Trace-span id of the submit that caused this request (0 = no
+    #: tracing).  Carried so service/drop/resubmit spans can parent onto
+    #: the original submission across routing and crashes.
+    trace_id: int = 0
 
     @property
     def latency(self) -> float:
@@ -35,9 +39,13 @@ class SimServer:
     the paper's constant-throughput assumption.  Runs entirely on the
     engine's callback fast path: one ``call_at`` per service completion,
     no generator process and no wake-up event objects.
+
+    ``obs`` (a :class:`repro.obs.Observability`) is optional; when set,
+    each completion records a ``request.service`` span parented on the
+    request's submit and observes the end-to-end latency histogram.
     """
 
-    def __init__(self, env: Environment, index: int, speed: float):
+    def __init__(self, env: Environment, index: int, speed: float, obs=None):
         if speed <= 0:
             raise ValueError("speed must be positive")
         self.env = env
@@ -47,6 +55,10 @@ class SimServer:
         self.completed: list[Request] = []
         self.busy = False
         self._in_service: Request | None = None
+        self._obs = obs
+        self._latency_hist = (
+            obs.metrics.histogram("request.latency") if obs is not None else None
+        )
 
     # ------------------------------------------------------------------
     def submit(self, req: Request) -> None:
@@ -87,6 +99,18 @@ class SimServer:
         self._in_service = None
         req.t_complete = self.env.now
         self.completed.append(req)
+        if self._latency_hist is not None:
+            self._latency_hist.observe(req.latency)
+            tracer = self._obs.tracer
+            if tracer is not None:
+                tracer.span(
+                    "request.service",
+                    req.t_arrive,
+                    req.t_complete - req.t_arrive,
+                    parent=req.trace_id or None,
+                    track=self.index,
+                    owner=req.owner,
+                )
         if self.queue:
             self._start_next()
         else:

@@ -165,6 +165,8 @@ class TrackingSimulation:
         tail_rounds: float | None = None,
         compute_optimum: bool = True,
         optimum_tol: float = 1e-9,
+        obs=None,
+        profile: bool = False,
     ):
         if isinstance(trace, list):
             self.epochs_spec = [
@@ -182,8 +184,10 @@ class TrackingSimulation:
 
         inst0 = inst.with_loads(self.epochs_spec[0][1])
         self.sim = LiveSimulation(
-            inst0, config=config, seed=seed, scheduler=scheduler
+            inst0, config=config, seed=seed, scheduler=scheduler,
+            obs=obs, profile=profile,
         )
+        self.obs = self.sim.obs  # resolved context (may be process-global)
         self._interval = self.sim.config.agent_interval
         self._opt_state: AllocationState | None = None
         self._next = 0                 #: next epoch segment to process
@@ -231,6 +235,16 @@ class TrackingSimulation:
         self._optima.append(self.sim.optimum_cost)
         self._cost_mark = len(self.sim.cost_samples) - 1
         self._exch_mark = self.sim.agents.stats.exchanges
+        if self.obs is not None:
+            self.obs.metrics.counter("tracking.epochs").inc()
+            tracer = self.obs.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "tracking.epoch_enter",
+                    t * self._interval,
+                    index=k,
+                    optimum=float(self.sim.optimum_cost),
+                )
 
     # ------------------------------------------------------------------
     def run(self, epochs: int | None = None) -> TrackingReport:
@@ -276,6 +290,23 @@ class TrackingSimulation:
                 above = np.flatnonzero(errs > self.rel_tol)
                 idx = 0 if above.size == 0 else int(above[-1]) + 1
                 retrack = (times[idx] - t0) / self._interval
+        if self.obs is not None:
+            if np.isfinite(retrack):
+                self.obs.metrics.histogram("tracking.retrack_rounds").observe(
+                    retrack
+                )
+            tracer = self.obs.tracer
+            if tracer is not None:
+                # One whole-epoch span on a dedicated lane: the timeline
+                # backbone the per-protocol lanes sit under.
+                tracer.span(
+                    "tracking.epoch",
+                    t0,
+                    t1 - t0,
+                    track=-1,
+                    index=k,
+                    retrack_rounds=retrack if np.isfinite(retrack) else None,
+                )
         return EpochMetrics(
             index=k,
             t_start_rounds=t_start,

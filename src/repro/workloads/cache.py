@@ -50,6 +50,7 @@ __all__ = [
     "cached_instance",
     "cached_optimum",
     "cache_stats",
+    "bind_obs",
     "clear_cache",
     "set_cache_dir",
     "get_cache_dir",
@@ -228,6 +229,16 @@ def cached_optimum(
 def cache_stats() -> CacheStats:
     """The per-process hit/miss counters."""
     return _STATS
+
+
+def bind_obs(registry) -> None:
+    """Expose the process-global counters as ``cache.*`` metrics.
+
+    Called by :class:`repro.obs.Observability` on construction; the
+    registry reads the live ``_STATS`` fields, so the hot cache paths
+    stay plain attribute increments whether or not obs is active.
+    """
+    registry.bind("cache", _STATS)
 
 
 def clear_cache() -> None:

@@ -1,0 +1,149 @@
+"""Observability must be a pure read-out: instrumented runs replay the
+exact event trace of uninstrumented ones, and the exported trace bytes
+are a pure function of (instance, config, seed).
+
+These are the ISSUE-6 acceptance tests: obs-on vs obs-off identity on
+every registered preset, and byte-identical trace JSONL across same-seed
+runs under both gossip wire formats.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import obs
+from repro.livesim import LiveConfig, LiveSimulation, get_live_preset
+from repro.workloads import PRESETS, cached_instance, get_scenario
+
+
+def _assert_same_run(sim_a, rep_a, sim_b, rep_b, label=""):
+    assert rep_a.trace == rep_b.trace, f"{label}: traces diverged"
+    assert rep_a.trace, f"{label}: trace should not be empty"
+    assert rep_a.events_processed == rep_b.events_processed, (
+        f"{label}: event counts diverged"
+    )
+    np.testing.assert_array_equal(sim_a.state.R, sim_b.state.R)
+    np.testing.assert_array_equal(rep_a.costs, rep_b.costs)
+    assert rep_a.net.sent == rep_b.net.sent
+    assert rep_a.agents == rep_b.agents
+    assert rep_a.gossip == rep_b.gossip
+
+
+class TestObsOnEqualsObsOff:
+    def test_all_presets_identical(self):
+        """Tracing + metrics + profiling changes nothing observable, on
+        every registered scenario preset."""
+        cfg = get_live_preset("lossy")  # stochastic drops exercise RNG order
+        for sc in PRESETS:
+            inst = cached_instance(sc, 12, 0)
+            sim_off = LiveSimulation(inst, config=cfg, seed=5)
+            rep_off = sim_off.run(rounds=40)
+            o = obs.Observability(trace=True)
+            sim_on = LiveSimulation(inst, config=cfg, seed=5, obs=o, profile=True)
+            rep_on = sim_on.run(rounds=40)
+            _assert_same_run(sim_off, rep_off, sim_on, rep_on, sc.name)
+            assert len(o.tracer) > 0, f"{sc.name}: tracer recorded nothing"
+
+    def test_churn_and_traffic_identical(self):
+        """The request and churn planes — resubmits, drops, failures —
+        are also untouched by instrumentation."""
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        cfg = LiveConfig(
+            p_drop=get_live_preset("churn").p_drop,
+            churn_rate=0.02,
+            arrival_rate_scale=0.05,
+        )
+        sim_off = LiveSimulation(inst, config=cfg, seed=6)
+        rep_off = sim_off.run(rounds=80)
+        o = obs.Observability(trace=True)
+        sim_on = LiveSimulation(inst, config=cfg, seed=6, obs=o)
+        rep_on = sim_on.run(rounds=80)
+        _assert_same_run(sim_off, rep_off, sim_on, rep_on, "churn+traffic")
+        assert rep_off.failures == rep_on.failures
+        assert rep_off.requests_submitted == rep_on.requests_submitted
+        assert rep_off.requests_resubmitted == rep_on.requests_resubmitted
+        assert rep_off.request_mean_latency == rep_on.request_mean_latency
+
+    def test_global_enable_is_picked_up_and_harmless(self):
+        inst = cached_instance(get_scenario("paper-homogeneous"), 10, 0)
+        cfg = get_live_preset("ideal")
+        sim_off = LiveSimulation(inst, config=cfg, seed=3)
+        rep_off = sim_off.run(rounds=30)
+        try:
+            ctx = obs.enable(trace=True)
+            assert obs.is_enabled()
+            sim_on = LiveSimulation(inst, config=cfg, seed=3)
+            assert sim_on.obs is ctx  # adopted as default
+            rep_on = sim_on.run(rounds=30)
+        finally:
+            obs.disable()
+        assert not obs.is_enabled()
+        _assert_same_run(sim_off, rep_off, sim_on, rep_on, "global-enable")
+
+
+class TestTraceBytesDeterministic:
+    def _trace_bytes(self, cfg, seed=7):
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        o = obs.Observability(trace=True)
+        sim = LiveSimulation(inst, config=cfg, seed=seed, obs=o)
+        sim.run(rounds=40)
+        return o.tracer.to_jsonl()
+
+    def test_full_gossip_byte_identical(self):
+        cfg = get_live_preset("lossy")
+        text_a = self._trace_bytes(cfg)
+        text_b = self._trace_bytes(cfg)
+        assert text_a == text_b
+        assert text_a  # non-empty
+
+    def test_delta_gossip_byte_identical(self):
+        cfg = dataclasses.replace(get_live_preset("lossy"), gossip_mode="delta")
+        text_a = self._trace_bytes(cfg)
+        text_b = self._trace_bytes(cfg)
+        assert text_a == text_b
+        assert '"gossip.pull_reply"' in text_a  # delta replies traced too
+
+    def test_different_seeds_differ(self):
+        cfg = get_live_preset("lossy")
+        assert self._trace_bytes(cfg, seed=7) != self._trace_bytes(cfg, seed=8)
+
+
+class TestCausalChains:
+    def test_gossip_merge_to_exchange_chain_exists(self):
+        """At least one full causal chain gossip.merge → agent.propose →
+        agent.exchange must thread through the trace (the acceptance
+        criterion: a stale-view repair becoming an applied exchange)."""
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        o = obs.Observability(trace=True)
+        sim = LiveSimulation(inst, config=get_live_preset("lossy"), seed=7, obs=o)
+        sim.run(rounds=40)
+        by_sid = {s.sid: s for s in o.tracer.spans()}
+        chains = 0
+        for s in o.tracer.spans():
+            if s.name != "agent.exchange" or s.parent is None:
+                continue
+            propose = by_sid.get(s.parent)
+            if propose is None or propose.name != "agent.propose":
+                continue
+            if propose.parent is None:
+                continue
+            merge = by_sid.get(propose.parent)
+            if merge is not None and merge.name == "gossip.merge":
+                chains += 1
+        assert chains >= 1, "no gossip.merge -> agent.propose -> agent.exchange chain"
+
+    def test_pull_reply_parents_are_pushes(self):
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        o = obs.Observability(trace=True)
+        sim = LiveSimulation(inst, config=get_live_preset("ideal"), seed=1, obs=o)
+        sim.run(rounds=20)
+        by_sid = {s.sid: s for s in o.tracer.spans()}
+        replies = [s for s in o.tracer.spans() if s.name == "gossip.pull_reply"]
+        assert replies
+        for s in replies:
+            parent = by_sid.get(s.parent)
+            # parent may have fallen off the ring; when present it is a push
+            if parent is not None:
+                assert parent.name == "gossip.push"

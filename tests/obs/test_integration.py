@@ -1,0 +1,233 @@
+"""End-to-end observability: driver wiring, request spans, engine and
+tracking instrumentation, sweep failure rows, and the inspect CLI."""
+
+from __future__ import annotations
+
+import json
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import get_solver, obs
+from repro.livesim import LiveConfig, LiveSimulation, get_live_preset
+from repro.livesim.sweep import LiveCell, evaluate_live_cell
+from repro.workloads import UniformLoads, cached_instance, get_scenario
+from repro.workloads.scenario import Scenario
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent.parent / "results"
+
+
+def _traced_run(cfg=None, seed=7, rounds=40, **obs_kw):
+    inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+    o = obs.Observability(trace=True, **obs_kw)
+    sim = LiveSimulation(
+        inst, config=cfg or get_live_preset("lossy"), seed=seed, obs=o
+    )
+    rep = sim.run(rounds=rounds)
+    return o, sim, rep
+
+
+class TestDriverWiring:
+    def test_metrics_mirror_report_stats(self):
+        o, sim, rep = _traced_run()
+        reg = o.metrics
+        assert reg.get("gossip.payload_bytes").value == rep.gossip.payload_bytes
+        assert reg.get("agents.exchanges").value == rep.agents.exchanges
+        assert reg.get("net.drops").value == rep.net.dropped
+        assert reg.get("net.sent").value == rep.net.sent
+        # live gauges exist and read sane values
+        assert reg.get("sched.queue_depth").value >= 0
+        assert reg.get("livesim.cost").value > 0
+
+    def test_series_sampled_on_cost_checkpoints(self):
+        o, sim, rep = _traced_run()
+        snap = o.snapshot()
+        pts = snap["series"]["agents.exchanges"]["points"]
+        assert len(pts) > 1
+        values = [v for _, v in pts]
+        assert values == sorted(values)  # counter series are monotone
+
+    def test_snapshot_round_trips_through_json(self, tmp_path):
+        o, _, _ = _traced_run()
+        path = tmp_path / "snap.json"
+        o.to_json(path)
+        doc = json.loads(path.read_text())
+        assert set(doc) >= {"metrics", "histograms", "series", "trace"}
+        assert doc["trace"]["spans"] == len(o.tracer)
+
+    def test_profile_attribution_in_report(self):
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        sim = LiveSimulation(
+            inst, config=get_live_preset("ideal"), seed=0, profile=True
+        )
+        rep = sim.run(rounds=20)
+        assert rep.profile is not None
+        kinds = [r["kind"] for r in rep.profile["rows"]]
+        assert any("AsyncGossip._tick" in k for k in kinds)
+        assert rep.profile["total_calls"] > 0
+        # profile off by default
+        sim2 = LiveSimulation(inst, config=get_live_preset("ideal"), seed=0)
+        assert sim2.run(rounds=5).profile is None
+
+    def test_churn_metrics(self):
+        o, sim, rep = _traced_run(cfg=get_live_preset("churn"), rounds=80)
+        reg = o.metrics
+        assert reg.get("churn.failures").value == len(rep.failures)
+        assert reg.get("churn.rejoins").value == len(rep.rejoins)
+        hist = reg.get("churn.downtime")
+        assert hist.count == len(rep.failures)
+
+
+class TestRequestSpans:
+    def test_submit_to_service_chain_and_latency_histogram(self):
+        cfg = LiveConfig(arrival_rate_scale=0.05)
+        o, sim, rep = _traced_run(cfg=cfg, seed=2, rounds=60)
+        spans = o.tracer.spans()
+        submits = {s.sid: s for s in spans if s.name == "request.submit"}
+        services = [s for s in spans if s.name == "request.service"]
+        assert submits and services
+        linked = [s for s in services if s.parent in submits]
+        assert linked, "no request.service span is parented by its submit"
+        hist = o.metrics.get("request.latency")
+        assert hist.count == rep.requests_completed
+        assert hist.mean == pytest.approx(rep.request_mean_latency)
+
+    def test_resubmit_chain_under_churn(self):
+        # Aggressive churn over light traffic, with a ring big enough
+        # that the (rare) resubmit instants cannot be evicted by the
+        # (plentiful) submit/service spans.
+        cfg = LiveConfig(
+            p_drop=get_live_preset("churn").p_drop,
+            churn_rate=0.05,
+            arrival_rate_scale=0.01,
+        )
+        o, sim, rep = _traced_run(
+            cfg=cfg, seed=6, rounds=40, trace_capacity=2_000_000
+        )
+        assert rep.requests_resubmitted > 0
+        spans = o.tracer.spans()
+        resubmits = [s for s in spans if s.name == "request.resubmit"]
+        assert len(resubmits) == rep.requests_resubmitted
+        assert all(s.parent is not None for s in resubmits)
+
+
+class TestEngineInstrumentation:
+    def test_solver_counters_with_global_context(self):
+        inst = cached_instance(get_scenario("paper-homogeneous"), 10, 0)
+        try:
+            ctx = obs.enable()
+            get_solver("mine-exact").solve(inst, rng=0)
+            assert ctx.metrics.get("engine.solve.mine-exact").value == 1
+            assert ctx.metrics.get("engine.solve_wall_s").count == 1
+        finally:
+            obs.disable()
+
+    def test_no_context_no_instruments(self):
+        inst = cached_instance(get_scenario("paper-homogeneous"), 10, 0)
+        assert obs.get_active() is None
+        res = get_solver("mine-exact").solve(inst, rng=0)
+        assert res.total_cost > 0  # still solves fine without a context
+
+
+class TestTrackingInstrumentation:
+    def test_epoch_spans_and_counters(self):
+        from repro.tracking import TrackingSimulation
+
+        inst = cached_instance(get_scenario("paper-planetlab"), 10, 0)
+        o = obs.Observability(trace=True)
+        sim = TrackingSimulation(inst, "drift", seed=0, obs=o)
+        rep = sim.run()
+        epochs = [s for s in o.tracer.spans() if s.name == "tracking.epoch"]
+        assert len(epochs) == o.metrics.get("tracking.epochs").value
+        assert len(epochs) > 1
+        for s in epochs:
+            assert s.dur >= 0
+            assert "retrack_rounds" in (s.args or {})
+
+
+class TestSweepFailureRows:
+    def test_success_row_has_empty_failure(self):
+        cell = LiveCell(
+            scenario=get_scenario("paper-homogeneous"),
+            m=10,
+            seed=0,
+            mode="async",
+            preset="ideal",
+            rounds=20,
+        )
+        row = evaluate_live_cell(cell)
+        assert row["failure"] == ""
+        assert row["events_per_sec"] > 0
+
+    def test_sync_mode_reports_zero_events_per_sec(self):
+        cell = LiveCell(
+            scenario=get_scenario("paper-homogeneous"),
+            m=10,
+            seed=0,
+            mode="sync",
+            rounds=10,
+        )
+        row = evaluate_live_cell(cell)
+        assert row["failure"] == ""
+        assert row["events_per_sec"] == 0.0  # lock-stepped, not NaN
+
+    def test_failed_cell_records_reason_not_nan(self):
+        def _boom(m, *, rng):
+            raise RuntimeError("topology exploded")
+
+        sc = Scenario(
+            name="obs-test-boom",
+            topology=_boom,
+            load_model=UniformLoads(avg=10.0),
+            m=8,
+        )
+        row = evaluate_live_cell(LiveCell(scenario=sc, m=8, seed=0))
+        assert row["failure"] == "RuntimeError: topology exploded"
+        assert row["events_per_sec"] == 0.0
+        assert row["converged"] is False
+        assert row["final_error"] == float("inf")
+
+
+class TestInspectCli:
+    def _artifacts(self, tmp_path):
+        o, sim, rep = _traced_run(rounds=20)
+        snap = tmp_path / "snap.json"
+        trace = tmp_path / "trace.jsonl"
+        o.to_json(snap)
+        o.tracer.to_jsonl(trace)
+        return snap, trace
+
+    def _run_cli(self, argv, capsys):
+        old = sys.argv
+        sys.argv = ["inspect_run.py"] + argv
+        try:
+            with pytest.raises(SystemExit) as exc:
+                runpy.run_path(str(RESULTS_DIR / "inspect_run.py"),
+                               run_name="__main__")
+            assert exc.value.code == 0
+        finally:
+            sys.argv = old
+        return capsys.readouterr().out
+
+    def test_snapshot_and_trace_render(self, tmp_path, capsys):
+        snap, trace = self._artifacts(tmp_path)
+        out = self._run_cli(
+            ["--snapshot", str(snap), "--trace", str(trace), "--top", "3"],
+            capsys,
+        )
+        assert "gossip.payload_bytes" in out
+        assert "slowest spans" in out
+        assert "gossip.push" in out
+
+    def test_requires_an_input(self, capsys):
+        old = sys.argv
+        sys.argv = ["inspect_run.py"]
+        try:
+            with pytest.raises(SystemExit) as exc:
+                runpy.run_path(str(RESULTS_DIR / "inspect_run.py"),
+                               run_name="__main__")
+            assert exc.value.code == 2  # argparse usage error
+        finally:
+            sys.argv = old

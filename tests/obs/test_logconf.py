@@ -1,0 +1,49 @@
+"""Structured-logging configuration: formats, idempotence, hierarchy."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+from repro.obs import logconf
+
+
+class TestConfigure:
+    def test_human_format(self, capsys):
+        logconf.configure("INFO")
+        logconf.get_logger("results.test").info("hello %d", 42)
+        out = capsys.readouterr().out
+        assert out == "INFO repro.results.test: hello 42\n"
+
+    def test_json_format(self, capsys):
+        logconf.configure("INFO", json=True)
+        logconf.get_logger("results.test").info("grid done")
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == {
+            "level": "INFO",
+            "logger": "repro.results.test",
+            "msg": "grid done",
+        }
+
+    def test_reconfigure_does_not_stack_handlers(self, capsys):
+        for _ in range(3):
+            logconf.configure("INFO")
+        logconf.get_logger("x").info("once")
+        assert capsys.readouterr().out.count("once") == 1
+
+    def test_level_filters(self, capsys):
+        logconf.configure("WARNING")
+        log = logconf.get_logger("x")
+        log.info("hidden")
+        log.warning("shown")
+        out = capsys.readouterr().out
+        assert "hidden" not in out and "shown" in out
+
+    def test_get_logger_prefixes_root(self):
+        assert logconf.get_logger("foo").name == "repro.foo"
+        assert logconf.get_logger("repro.bar").name == "repro.bar"
+        assert logconf.get_logger("repro").name == "repro"
+
+    def test_no_propagation_to_root_logger(self, capsys):
+        logconf.configure("INFO")
+        assert logging.getLogger("repro").propagate is False

@@ -1,0 +1,160 @@
+"""Unit coverage of the metrics registry: instruments, series, binding."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    BoundCounter,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+
+
+class TestSeries:
+    def test_buckets_keep_last_value(self):
+        s = Series(interval=10.0)
+        s.record(1.0, 5.0)
+        s.record(9.0, 7.0)  # same bucket: overwrite
+        s.record(12.0, 9.0)  # next bucket: append
+        assert s.points() == [(0.0, 7.0), (10.0, 9.0)]
+
+    def test_capacity_bounds_memory(self):
+        s = Series(interval=1.0, capacity=4)
+        for k in range(10):
+            s.record(float(k), float(k))
+        assert len(s) == 4
+        assert s.points()[0] == (6.0, 6.0)
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            Series(interval=0.0)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_gauge_set_and_fn(self):
+        g = Gauge("g")
+        g.set(2.5)
+        assert g.value == 2.5
+        live = Gauge("g2", fn=lambda: 42)
+        assert live.value == 42
+
+    def test_histogram_summary(self):
+        h = Histogram("h")
+        for v in (0.5, 1.5, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3
+        assert s["sum"] == pytest.approx(6.0)
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["min"] == 0.5 and s["max"] == 4.0
+        assert h.value == 3  # series track the count
+
+    def test_empty_histogram_summary_is_json_safe(self):
+        s = Histogram("h").summary()
+        assert s["min"] is None and s["max"] is None
+        assert math.isnan(s["mean"])
+
+    def test_bound_counter_reads_live(self):
+        class Stats:
+            def __init__(self):
+                self.sent = 0
+
+        st = Stats()
+        b = BoundCounter("net.sent", st, "sent")
+        assert b.value == 0
+        st.sent += 7
+        assert b.value == 7
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("a.b")
+        c2 = reg.counter("a.b")
+        assert c1 is c2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("a.b")
+
+    def test_bind_auto_discovers_numeric_fields(self):
+        class Stats:
+            def __init__(self):
+                self.sent = 3
+                self.dropped = 1
+                self._private = 9
+                self.label = "not-numeric"
+
+        reg = MetricsRegistry()
+        reg.bind("net", Stats(), rename={"dropped": "drops"})
+        assert reg.names() == ["net.drops", "net.sent"]
+        assert reg.get("net.drops").value == 1
+
+    def test_rebind_replaces_object(self):
+        class Stats:
+            def __init__(self, n):
+                self.sent = n
+
+        reg = MetricsRegistry()
+        reg.bind("net", Stats(1))
+        reg.bind("net", Stats(5))
+        assert reg.get("net.sent").value == 5
+
+    def test_configure_series_first_caller_wins_and_retrofits(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b")  # registered before any interval exists
+        assert c.series is None
+        reg.configure_series(10.0)
+        assert c.series is not None and c.series.interval == 10.0
+        reg.configure_series(99.0)  # later caller must not re-bucket
+        assert reg.series_interval == 10.0
+
+    def test_sample_records_series_points(self):
+        reg = MetricsRegistry(series_interval=10.0)
+        c = reg.counter("a.b")
+        c.inc(2)
+        reg.sample(0.0)
+        c.inc(3)
+        reg.sample(15.0)
+        snap = reg.snapshot()
+        assert snap["series"]["a.b"]["points"] == [[0.0, 2], [10.0, 5]]
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("gossip.pushes").inc(4)
+        reg.gauge("sched.queue_depth", fn=lambda: 17)
+        reg.histogram("request.latency").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["metrics"]["gossip.pushes"] == 4
+        assert snap["metrics"]["sched.queue_depth"] == 17
+        assert snap["histograms"]["request.latency"]["count"] == 1
+
+    def test_to_json_deterministic(self, tmp_path):
+        def build():
+            reg = MetricsRegistry(series_interval=5.0)
+            reg.counter("z.c").inc(2)
+            reg.counter("a.c").inc(1)
+            reg.sample(0.0)
+            return reg
+
+        text_a = build().to_json()
+        path = tmp_path / "m.json"
+        text_b = build().to_json(path)
+        assert text_a == text_b
+        assert path.read_text() == text_b + "\n"
+        json.loads(text_a)  # valid JSON

@@ -1,0 +1,85 @@
+"""Unit coverage of the opt-in callback profiler."""
+
+from __future__ import annotations
+
+import functools
+
+from repro.obs.profile import CallbackProfiler
+from repro.sim.events import Environment
+
+
+class _Thing:
+    def __init__(self):
+        self.calls = 0
+
+    def tick(self, _=None):
+        self.calls += 1
+
+
+class TestBuckets:
+    def test_bound_methods_of_one_class_share_a_bucket(self):
+        prof = CallbackProfiler()
+        a, b = _Thing(), _Thing()
+        prof.add(a.tick, 0.5)
+        prof.add(b.tick, 0.25)
+        (label,) = prof.buckets
+        assert label.endswith("_Thing.tick")
+        assert prof.buckets[label] == [2, 0.75]
+
+    def test_plain_functions_and_partials(self):
+        def cb(_):
+            pass
+
+        prof = CallbackProfiler()
+        prof.add(cb, 0.1)
+        prof.add(functools.partial(cb, 1), 0.1)
+        assert prof.total_calls == 2
+
+    def test_table_shares_and_order(self):
+        prof = CallbackProfiler()
+        prof.add(_Thing().tick, 3.0)
+
+        def cheap(_):
+            pass
+
+        prof.add(cheap, 1.0)
+        t = prof.table()
+        assert t["total_calls"] == 2
+        assert t["total_seconds"] == 4.0
+        assert t["rows"][0]["kind"].endswith("_Thing.tick")  # hottest first
+        assert t["rows"][0]["share"] == 0.75
+        assert t["rows"][0]["events_per_sec"] == 1 / 3.0
+
+    def test_format_table_renders(self):
+        prof = CallbackProfiler()
+        prof.add(_Thing().tick, 0.5)
+        text = prof.format_table()
+        assert "_Thing.tick" in text
+        assert "TOTAL" in text
+
+    def test_empty_table(self):
+        t = CallbackProfiler().table()
+        assert t == {"total_calls": 0, "total_seconds": 0.0, "rows": []}
+
+
+class TestEngineIntegration:
+    def test_environment_attributes_callback_time(self):
+        env = Environment()
+        prof = CallbackProfiler()
+        env.set_profiler(prof)
+        thing = _Thing()
+        for k in range(5):
+            env.call_at(float(k), thing.tick)
+        env.run(until=10.0)
+        assert thing.calls == 5
+        (label,) = prof.buckets
+        assert label.endswith("_Thing.tick")
+        assert prof.buckets[label][0] == 5
+        assert prof.buckets[label][1] >= 0.0
+
+    def test_unprofiled_environment_unaffected(self):
+        env = Environment()
+        thing = _Thing()
+        env.call_at(0.0, thing.tick)
+        env.run(until=1.0)
+        assert thing.calls == 1

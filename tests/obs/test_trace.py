@@ -1,0 +1,104 @@
+"""Unit coverage of the deterministic tracer and its exports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.trace import Tracer
+
+
+class TestRecording:
+    def test_ids_are_consecutive_event_order(self):
+        tr = Tracer()
+        a = tr.instant("a", 0.0)
+        b = tr.span("b", 1.0, 2.0)
+        c = tr.begin("c", 3.0)
+        assert (a, b, c) == (1, 2, 3)
+
+    def test_begin_end_carries_duration_and_extra_args(self):
+        tr = Tracer()
+        sid = tr.begin("flight", 5.0, track=2, src=0, dst=1)
+        tr.end(sid, 7.5, merged=True)
+        (s,) = tr.spans()
+        assert s.ts == 5.0 and s.dur == 2.5 and s.track == 2
+        assert s.args == {"src": 0, "dst": 1, "merged": True}
+
+    def test_end_unknown_id_is_ignored(self):
+        tr = Tracer()
+        tr.end(999, 1.0)
+        assert len(tr) == 0
+
+    def test_abandon_discards_open_span(self):
+        tr = Tracer()
+        sid = tr.begin("flight", 0.0)
+        tr.abandon(sid)
+        tr.end(sid, 1.0)  # already gone: no-op
+        assert len(tr) == 0
+
+    def test_ring_capacity_evicts_and_counts(self):
+        tr = Tracer(capacity=3)
+        for k in range(5):
+            tr.instant("e", float(k))
+        assert len(tr) == 3
+        assert tr.dropped == 2
+        assert [s.ts for s in tr.spans()] == [2.0, 3.0, 4.0]
+
+    def test_clear_keeps_id_sequence_unique(self):
+        tr = Tracer()
+        tr.instant("a", 0.0)
+        tr.clear()
+        assert tr.instant("b", 0.0) == 2  # ids never recycle
+
+
+class TestCorrelation:
+    def test_bind_lookup_take(self):
+        tr = Tracer()
+        sid = tr.instant("merge", 0.0)
+        tr.bind(("view", 3), sid)
+        assert tr.lookup(("view", 3)) == sid
+        assert tr.take(("view", 3)) == sid
+        assert tr.lookup(("view", 3)) is None
+
+    def test_missing_key_is_none(self):
+        assert Tracer().lookup(("xchg", 42)) is None
+
+
+class TestExports:
+    def _populated(self):
+        tr = Tracer()
+        push = tr.begin("gossip.push", 10.0, track=0, src=0, dst=1)
+        tr.end(push, 12.0)
+        tr.instant("gossip.merge", 12.0, parent=push, track=1)
+        return tr
+
+    def test_jsonl_lines_and_byte_identity(self, tmp_path):
+        tr = self._populated()
+        text = tr.to_jsonl()
+        lines = text.strip().split("\n")
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "sid": 1,
+            "name": "gossip.push",
+            "ts": 10.0,
+            "dur": 2.0,
+            "track": 0,
+            "args": {"src": 0, "dst": 1},
+        }
+        path = tmp_path / "t.jsonl"
+        assert self._populated().to_jsonl(path) == text
+        assert path.read_text() == text
+
+    def test_chrome_export_shape(self, tmp_path):
+        tr = self._populated()
+        doc = tr.to_chrome(tmp_path / "chrome.json")
+        assert doc["displayTimeUnit"] == "ms"
+        complete, instant = doc["traceEvents"]
+        assert complete["ph"] == "X"
+        assert complete["ts"] == 10000.0 and complete["dur"] == 2000.0
+        assert complete["tid"] == 0
+        assert complete["args"]["sid"] == 1
+        assert instant["ph"] == "i" and instant["s"] == "t"
+        assert instant["args"]["parent"] == 1
+        # the file is valid JSON and loads back to the same doc
+        assert json.loads((tmp_path / "chrome.json").read_text()) == doc
