@@ -16,6 +16,20 @@ def full_run() -> bool:
     return os.environ.get("REPRO_FULL", "0") == "1"
 
 
+def scale_run() -> bool:
+    """The m = 5000 fleet-scale benches: ~30 min of single-core wall
+    clock, so they run only where ``REPRO_SCALE=1`` (the CI perf job)
+    or under ``REPRO_FULL=1``, not in the tier-1 test matrix."""
+    return os.environ.get("REPRO_SCALE", "0") == "1" or full_run()
+
+
+#: decorator for the m = 5000 benches
+scale_only = pytest.mark.skipif(
+    not scale_run(),
+    reason="m=5000 scale bench: set REPRO_SCALE=1 (CI perf job) to run",
+)
+
+
 @pytest.fixture(scope="session")
 def is_full_run() -> bool:
     return full_run()

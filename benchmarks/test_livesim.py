@@ -16,6 +16,14 @@ Three benches cover the subsystem's acceptance criteria:
 * :func:`test_livesim_m2000_scale` — the fast-path acceptance case: a
   production-sized fleet (m = 2000, ``lossy`` preset, screened partner
   proposals) converging to the same 2 % bound inside the CI budget.
+  Also the batched-kernel speedup gate: its events/s must stay ≥1.5x
+  the frozen PR-6 figure (calibration-normalized), recorded as
+  ``speedup_vs_pr6``.
+* :func:`test_livesim_m5000_scale` — the batched-kernel scale case:
+  m = 5000 on the lossy preset to the same bound, asserting the
+  per-proposal kernel dispatch count collapsed (≥10 candidates per
+  Algorithm 1 call, from the ``agents.kernel_calls`` /
+  ``agents.kernel_candidates`` counters).
 
 All write their measurements — events/sec throughput, time-to-within-
 bound per preset (in sim time and agent rounds) and cost-vs-time curves
@@ -34,7 +42,8 @@ import numpy as np
 from repro.livesim import LiveSimulation, get_live_preset
 from repro.workloads import PRESETS, cached_instance, cached_optimum
 
-from .conftest import full_run, merge_bench
+from .conftest import full_run, merge_bench, scale_only
+from .test_event_engine import calibrate_ops_per_sec
 
 REL_TOL = 0.02  # the paper's Table I convergence bound
 ROUNDS = 120 if full_run() else 80
@@ -45,6 +54,25 @@ CHURN_ROUNDS = 240 if full_run() else 160
 #: time than the default 16 at this size).
 M2000_ROUNDS_MAX = 90
 M2000_SCREEN_WIDTH = 8
+
+#: m = 5000 scale case: the default screened width (16) — the batched
+#: kernel evaluates the whole candidate set in one dispatch, so the
+#: wider screen costs almost nothing and converges in fewer rounds.
+M5000_ROUNDS_MAX = 90
+#: Minimum candidates per Algorithm 1 dispatch at m = 5000 (screen
+#: width 16 yields ~16–24 per proposal; ~20 per-pair calls pre-batch).
+M5000_KERNEL_BATCH_MIN = 10.0
+
+#: The PR-6 m=2000 lossy figures (events/s and the same-run machine
+#: calibration), frozen so the batched-kernel speedup survives
+#: ``BENCH_livesim.json`` being overwritten with fresh numbers.
+PR6_M2000 = {
+    "events_per_sec": 9742.52317537061,
+    "calibration_ops_per_sec": 25411470.470989317,
+}
+#: ISSUE-7 acceptance: the m=2000 lossy bench must run ≥1.5x the PR-6
+#: events/s after calibration normalization.
+M2000_MIN_SPEEDUP_VS_PR6 = 1.5
 
 #: events/s of the PR-3 control plane on the same m=16/80-round preset
 #: grid, frozen here so the recorded speedup survives the BENCH file
@@ -235,6 +263,20 @@ def test_livesim_m2000_scale():
     )
     assert np.isfinite(ttw)
 
+    # The batched-kernel speedup gate: normalize the frozen PR-6 figure
+    # to this machine's speed, then require >= 1.5x over it.
+    cal = calibrate_ops_per_sec()
+    pr6_here = PR6_M2000["events_per_sec"] * (
+        cal / PR6_M2000["calibration_ops_per_sec"]
+    )
+    speedup_vs_pr6 = report.events_per_sec / pr6_here
+    assert speedup_vs_pr6 >= M2000_MIN_SPEEDUP_VS_PR6, (
+        f"m=2000 lossy ran {report.events_per_sec:.0f} ev/s vs a "
+        f"calibration-normalized PR-6 baseline of {pr6_here:.0f} — only "
+        f"{speedup_vs_pr6:.2f}x (need >= {M2000_MIN_SPEEDUP_VS_PR6}x)"
+    )
+
+    agents = report.agents
     _merge_bench(
         "m2000",
         {
@@ -248,13 +290,19 @@ def test_livesim_m2000_scale():
             "final_error": report.final_error,
             "rounds_to_bound": ttw / interval,
             "rounds_run": report.horizon / interval,
-            "exchanges": report.agents.exchanges,
-            "proposals": report.agents.proposals,
-            "skipped_proposals": report.agents.skipped_proposals,
+            "exchanges": agents.exchanges,
+            "proposals": agents.proposals,
+            "skipped_proposals": agents.skipped_proposals,
+            "kernel_calls": agents.kernel_calls,
+            "kernel_candidates": agents.kernel_candidates,
+            "kernel_candidates_per_call": (
+                agents.kernel_candidates / max(1, agents.kernel_calls)
+            ),
             "messages": report.net.sent,
             "dropped": report.net.dropped,
             "events_processed": report.events_processed,
             "events_per_sec": report.events_per_sec,
+            "speedup_vs_pr6": speedup_vs_pr6,
             "sim_wall_s": report.wall_s,
             "scheduler_in_use": sim.env.scheduler_in_use,
             "mean_view_age_rounds": report.mean_view_age / interval,
@@ -266,5 +314,114 @@ def test_livesim_m2000_scale():
         f"{report.horizon / interval:.0f} rounds "
         f"(bound hit at {ttw / interval:.0f}), "
         f"{report.events_processed} events in {report.wall_s:.0f}s "
-        f"({report.events_per_sec:.0f} ev/s)"
+        f"({report.events_per_sec:.0f} ev/s, {speedup_vs_pr6:.2f}x PR-6)"
     )
+
+
+@scale_only
+def test_livesim_m5000_scale():
+    """The ISSUE-7 scale acceptance case: m = 5000 on the lossy preset
+    converges to the 2 % bound in CI, with the batched transfer kernel
+    collapsing ~20 per-pair dispatches per proposal into one.
+
+    Runs at the *default* screen width (16): pre-batch, m = 2000 needed
+    width 8 to stay inside the CI budget; the batched kernel makes the
+    wider screen nearly free, so the larger fleet still converges in a
+    comparable round count.  Adaptive gossip trims steady-state traffic
+    once views stop churning.
+    """
+    sc = next(s for s in PRESETS if s.name == "regional-surge")
+    m = 5000
+    inst = cached_instance(sc, m, 0)
+    opt_state, opt_cost, solve_wall, _ = cached_optimum(sc, m, 0)
+    cfg = dataclasses.replace(get_live_preset("lossy"), gossip_adaptive=True)
+    sim = LiveSimulation(inst, config=cfg, seed=0, optimum=opt_state)
+    report = sim.run(rounds=30)
+    while report.final_error > REL_TOL and report.horizon < (
+        M5000_ROUNDS_MAX * sim.config.agent_interval
+    ):
+        report = sim.run(rounds=10)
+    interval = sim.config.agent_interval
+    ttw = report.time_to_within(REL_TOL)
+
+    assert report.net.dropped > 0
+    assert report.final_error <= REL_TOL, (
+        f"m=5000 lossy run ended {report.final_error:.3%} above the "
+        f"offline optimum (bound {REL_TOL:.0%}) after "
+        f"{report.horizon / interval:.0f} rounds"
+    )
+    assert np.isfinite(ttw)
+
+    # The kernel-dispatch collapse: one batched call covers the whole
+    # screened candidate set (~20 per-pair calls before this kernel).
+    agents = report.agents
+    batchiness = agents.kernel_candidates / max(1, agents.kernel_calls)
+    assert batchiness >= M5000_KERNEL_BATCH_MIN, (
+        f"batched kernel averaged {batchiness:.1f} candidates per "
+        f"dispatch (need >= {M5000_KERNEL_BATCH_MIN}): the per-proposal "
+        f"kernel-call collapse regressed"
+    )
+
+    _merge_bench(
+        "m5000",
+        {
+            "scenario": sc.name,
+            "m": m,
+            "preset": "lossy",
+            "rel_tol": REL_TOL,
+            "screen_width": cfg.agent_screen_width,
+            "gossip_adaptive": True,
+            "optimal_cost": opt_cost,
+            "optimum_solve_wall_s": solve_wall,
+            "final_error": report.final_error,
+            "rounds_to_bound": ttw / interval,
+            "rounds_run": report.horizon / interval,
+            "exchanges": agents.exchanges,
+            "proposals": agents.proposals,
+            "skipped_proposals": agents.skipped_proposals,
+            "kernel_calls": agents.kernel_calls,
+            "kernel_candidates": agents.kernel_candidates,
+            "kernel_candidates_per_call": batchiness,
+            "messages": report.net.sent,
+            "dropped": report.net.dropped,
+            "payload_bytes": report.gossip.payload_bytes,
+            "gossip_interval_final": sim.gossip.mean_interval(),
+            "events_processed": report.events_processed,
+            "events_per_sec": report.events_per_sec,
+            "sim_wall_s": report.wall_s,
+            "scheduler_in_use": sim.env.scheduler_in_use,
+            "mean_view_age_rounds": report.mean_view_age / interval,
+            "cost_curve": _curve(report, stride=16),
+        },
+    )
+    print(
+        f"  m=5000 {sc.name} lossy: err={report.final_error:.2e} at "
+        f"{report.horizon / interval:.0f} rounds "
+        f"(bound hit at {ttw / interval:.0f}), "
+        f"{report.events_processed} events in {report.wall_s:.0f}s "
+        f"({report.events_per_sec:.0f} ev/s, "
+        f"{batchiness:.1f} candidates/kernel call)"
+    )
+
+
+@scale_only
+def test_livesim_m5000_split_equals_long():
+    """m = 5000 determinism: a chunked run (the early-exit loop above)
+    replays one long run event-for-event, adaptive gossip included."""
+    sc = next(s for s in PRESETS if s.name == "regional-surge")
+    inst = cached_instance(sc, 5000, 0)
+    cfg = dataclasses.replace(get_live_preset("lossy"), gossip_adaptive=True)
+
+    sim_long = LiveSimulation(inst, config=cfg, seed=0)
+    rep_long = sim_long.run(rounds=6)
+    trace_long = rep_long.trace
+    R_long = sim_long.state.R.copy()
+    agents_long = sim_long.agents.stats
+    del sim_long  # ~1 GB of gossip tables: free before the second fleet
+
+    sim_split = LiveSimulation(inst, config=cfg, seed=0)
+    sim_split.run(rounds=3)
+    rep_split = sim_split.run(rounds=3)
+    assert trace_long == rep_split.trace
+    np.testing.assert_array_equal(R_long, sim_split.state.R)
+    assert agents_long == sim_split.agents.stats

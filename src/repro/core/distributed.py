@@ -45,11 +45,16 @@ __all__ = [
     "MinEOptimizer",
     "SweepStats",
     "ConvergenceTrace",
+    "KernelStats",
+    "CandidateTransfers",
     "batch_exchange_stats",
+    "batch_best_transfers",
     "best_partner_exact",
     "best_partner_screened",
+    "screen_candidates",
     "propose_partner",
     "apply_pair_exchange",
+    "static_caches_enabled",
     "EXACT_BUDGET",
 ]
 
@@ -100,6 +105,30 @@ def _safe_dot_scalar(x: np.ndarray, cost: np.ndarray) -> float:
     """``Σ x_k c_k`` with the convention ``0 · inf = 0``."""
     mask = x != 0
     return float(x[mask] @ cost[mask])
+
+
+def _rowsum(x: np.ndarray, cost: np.ndarray) -> np.ndarray:
+    """Row-wise ``Σ_k x_k c_k`` with the convention ``0 · inf = 0``
+    (forbidden links carrying no load cost nothing)."""
+    with np.errstate(invalid="ignore"):
+        prod = x * cost
+    prod[x == 0.0] = 0.0
+    return prod.sum(axis=1)
+
+
+@dataclass
+class KernelStats:
+    """Dispatch counters of the Algorithm 1 transfer kernels.
+
+    ``kernel_calls`` counts closed-form kernel dispatches and
+    ``kernel_candidates`` the candidate partners evaluated across them,
+    so ``kernel_candidates / kernel_calls`` is the batching factor — the
+    number of per-pair :func:`repro.core.transfer.calc_best_transfer`
+    dispatches each call replaces.
+    """
+
+    kernel_calls: int = 0
+    kernel_candidates: int = 0
 
 
 def batch_exchange_stats(
@@ -222,12 +251,6 @@ def batch_exchange_stats(
     if inst.has_inf_latency:
         # Forbidden links carrying no load cost nothing (0·inf := 0);
         # direct per-term evaluation avoids inf − inf.
-        def _rowsum(x: np.ndarray, cost: np.ndarray) -> np.ndarray:
-            with np.errstate(invalid="ignore"):
-                prod = x * cost
-            prod[x == 0.0] = 0.0
-            return prod.sum(axis=1)
-
         ci_sorted = c_owners_i[order]
         cj_sorted = Ct[rows_idx, order]
         comm_old = _safe_dot_scalar(Ri, c_owners_i) + _rowsum(Rt, Ct)
@@ -251,6 +274,216 @@ def batch_exchange_stats(
     return impr, moved
 
 
+class CandidateTransfers:
+    """Result of one :func:`batch_best_transfers` pass.
+
+    ``impr[p]`` is the exact ``ΣCi`` improvement of the Algorithm 1
+    exchange between server ``i`` and ``cand[p]`` on the true ``R`` (the
+    kernel pools the actual allocation rows, so staleness of whatever
+    view *selected* the candidates never enters the improvement).  The
+    per-candidate transfer vectors are retained in sorted-owner layout,
+    so the winner's exchange columns come out of :meth:`exchange` with
+    zero further kernel work.
+    """
+
+    __slots__ = ("i", "cand", "impr", "_norgs", "_own", "_order", "_r_s", "_t", "_ri")
+
+    def __init__(self, i, cand, impr, norgs, own, order, r_s, t, ri):
+        self.i = int(i)
+        self.cand = cand      #: (n,) candidate server ids
+        self.impr = impr      #: (n,) exact ΣCi improvement per candidate
+        self._norgs = int(norgs)
+        self._own = own       #: (h,) org rows the closed form ran over
+        self._order = order   #: (n, h) per-candidate owner order (by d_k)
+        self._r_s = r_s       #: (n, h) pooled requests, sorted order
+        self._t = t           #: (n, h) transfer amounts, sorted order
+        self._ri = ri         #: (h,) server i's old column over _own
+
+    def best(self) -> tuple[int, int, float]:
+        """``(pos, partner, impr)`` of the best candidate —
+        ``(-1, -1, -inf)`` when the candidate set is empty."""
+        if self.cand.size == 0:
+            return -1, -1, float("-inf")
+        pos = int(np.argmax(self.impr))
+        return pos, int(self.cand[pos]), float(self.impr[pos])
+
+    def exchange(self, pos: int) -> PairExchange:
+        """Materialize candidate ``pos``'s exchange columns (Algorithm 1
+        applied to the pair) from the batch pass — no kernel re-dispatch."""
+        order = self._order[pos]
+        sel = self._own[order]
+        r_s = self._r_s[pos]
+        t = self._t[pos]
+        new_i = r_s - t
+        col_i = np.zeros(self._norgs)
+        col_j = np.zeros(self._norgs)
+        col_i[sel] = new_i
+        col_j[sel] = t
+        moved = float(np.abs(new_i - self._ri[order]).sum())
+        return PairExchange(
+            self.i, int(self.cand[pos]), col_i, col_j,
+            float(self.impr[pos]), moved,
+        )
+
+
+def batch_best_transfers(
+    inst: Instance,
+    R: np.ndarray,
+    i: int,
+    cand: np.ndarray,
+    *,
+    owners: np.ndarray | None = None,
+    order_cache: dict[int, np.ndarray] | None = None,
+    rt_full: np.ndarray | None = None,
+    ct_full: np.ndarray | None = None,
+    static_cache: dict[int, tuple] | None = None,
+    stats: "KernelStats | None" = None,
+) -> CandidateTransfers:
+    """Evaluate Algorithm 1 for server ``i`` against the candidate set
+    ``cand`` in **one** closed-form ``(k, h)`` pass.
+
+    This is the :func:`batch_exchange_stats` layout (transposed
+    contiguous rows, shared sort/prefix-sum cut-off) restricted to the
+    screened candidates: where the screened path used to dispatch one
+    :func:`~repro.core.transfer.calc_best_transfer` per candidate
+    (~``screen_width`` numpy-bound kernel calls per proposal), this is a
+    single dispatch returning per-candidate ``(impr, t)`` — and the
+    winner's exchange columns via :meth:`CandidateTransfers.exchange`
+    with no extra kernel call.
+
+    Two internal layouts:
+
+    * when ``static_cache`` holds server ``i``'s full per-server statics
+      (small fleets — the exact path's caches), the cached argsort /
+      sorted-difference rows are sliced by ``cand`` and reused;
+    * otherwise (fleet scale, where the full caches exceed the memory
+      budget) the pass restricts every op to the *union support* of the
+      pooled columns — the allocation stays sparse, so the sort runs
+      over ``h_eff ≪ m`` owners, with a stable order matching
+      ``calc_best_transfer`` column-for-column.
+
+    ``impr`` is always exact on the true ``R`` (pooled loads come from
+    the gathered rows themselves); a stale gossip view only ever enters
+    the candidate *pre-selection* (:func:`screen_candidates`).
+    ``stats`` (any object with ``kernel_calls`` / ``kernel_candidates``
+    int attributes, e.g. :class:`KernelStats`) counts this dispatch.
+    """
+    s = inst.speeds
+    m = inst.m
+    s_i = float(s[i])
+    cand = np.asarray(cand, dtype=np.intp)
+    n = cand.shape[0]
+    if stats is not None:
+        stats.kernel_calls += 1
+        stats.kernel_candidates += n
+    if rt_full is None:
+        rt_full = R.T
+    if ct_full is None:
+        ct_full = inst.latency.T
+    if n == 0:
+        e = np.empty(0)
+        ei = np.empty(0, dtype=np.intp)
+        e2 = np.empty((0, 0))
+        return CandidateTransfers(
+            i, cand, e, m, ei, np.empty((0, 0), dtype=np.intp), e2, e2.copy(), e
+        )
+
+    s_c = s[cand]
+    cached = static_cache.get(i) if static_cache is not None else None
+    if cached is not None:
+        # Small-fleet path: the exact path's per-server statics (owner-set
+        # layout, built by batch_exchange_stats) sliced by candidate row.
+        if owners is None:
+            owners = np.flatnonzero(inst.loads > 0)
+        own = owners
+        full = own.shape[0] == m
+        c_i, order_full, d_s_full, A_ratio_full, B_full, Bd_full = cached
+        order = order_full[cand]
+        d_s = d_s_full[cand]
+        Bd = Bd_full[cand]
+        shared = static_cache.get(-1)
+        if shared is not None:
+            Ct = shared[0]
+        elif full:
+            Ct = ct_full
+        else:
+            Ct = np.ascontiguousarray(ct_full[:, own])
+        Cc = Ct[cand]
+        if full:
+            Ri = rt_full[i]
+            Rc = rt_full[cand]
+        else:
+            Ri = rt_full[i, own]
+            Rc = rt_full[np.ix_(cand, own)]
+        lc = Rc.sum(axis=1)
+        li = float(Ri.sum())
+        L = li + lc
+        A = A_ratio_full[cand] * L
+    else:
+        # Fleet-scale path: gather the candidate rows once, then restrict
+        # everything downstream to the union support of the pooled
+        # columns — exchanges keep the allocation sparse, so h_eff ≪ m
+        # and the per-proposal sort is tiny.
+        Rc_rows = rt_full[cand]          # (n, m) contiguous row gather
+        Ri_row = rt_full[i]
+        lc = Rc_rows.sum(axis=1)
+        li = float(Ri_row.sum())
+        own = np.flatnonzero(Rc_rows.sum(axis=0) + Ri_row > 0)
+        Rc = Rc_rows[:, own]
+        Ri = Ri_row[own]
+        c_i = np.ascontiguousarray(ct_full[i, own])
+        Cc = ct_full[np.ix_(cand, own)]
+        if inst.has_inf_latency:
+            with np.errstate(invalid="ignore"):
+                D = Cc - c_i[None, :]
+            # inf − inf → owner reaches neither server; it holds nothing
+            # at either, so any immovable (+inf) difference is correct.
+            D[np.isnan(D)] = np.inf
+        else:
+            D = Cc - c_i[None, :]
+        # Stable order + the same op order as calc_best_transfer keeps
+        # the realized columns bitwise identical to the per-pair kernel.
+        order = np.argsort(D, axis=1, kind="stable")
+        d_s = np.take_along_axis(D, order, axis=1)
+        B = s_i * s_c / (s_i + s_c)
+        Bd = B[:, None] * d_s
+        L = li + lc
+        A = s_c * L / (s_i + s_c)
+
+    h = own.shape[0]
+    Pool = Rc + Ri[None, :]
+    r_s = np.take_along_axis(Pool, order, axis=1)
+    prefix = np.cumsum(r_s, axis=1)
+    key = prefix + Bd
+    K = (key <= A[:, None]).sum(axis=1)  # fully-moved owners per candidate
+    t = np.where(np.arange(h)[None, :] < K[:, None], r_s, 0.0)
+    rows = np.flatnonzero(K < h)
+    if rows.size:
+        kp = K[rows]
+        before = np.where(kp > 0, prefix[rows, np.maximum(kp - 1, 0)], 0.0)
+        partial = A[rows] - Bd[rows, kp] - before
+        t[rows, kp] = np.clip(partial, 0.0, r_s[rows, kp])
+
+    T = t.sum(axis=1)  # load ending up on the candidate partner
+    li_new = L - T
+    cong_old = li * li / (2 * s_i) + lc**2 / (2 * s_c)
+    cong_new = li_new**2 / (2 * s_i) + T**2 / (2 * s_c)
+    if inst.has_inf_latency:
+        ci_sorted = c_i[order]
+        cj_sorted = np.take_along_axis(Cc, order, axis=1)
+        comm_old = _safe_dot_scalar(Ri, c_i) + _rowsum(Rc, Cc)
+        comm_new = _rowsum(r_s - t, ci_sorted) + _rowsum(t, cj_sorted)
+    else:
+        comm_old = float(Ri @ c_i) + np.einsum("jk,jk->j", Rc, Cc)
+        # comm_new = Σ_k (pool_k − t_k) c_ki + t_k c_kj
+        #          = Σ_k pool_k c_ki + Σ_k t_k d_k   (d in sorted order)
+        comm_new = Pool @ c_i + np.einsum("jk,jk->j", t, d_s)
+
+    impr = (cong_old + comm_old) - (cong_new + comm_new)
+    impr[cand == i] = -np.inf  # never pair with self
+    return CandidateTransfers(i, cand, impr, m, own, order, r_s, t, Ri)
+
+
 def best_partner_exact(
     inst: Instance,
     R: np.ndarray,
@@ -261,9 +494,14 @@ def best_partner_exact(
     rt_full: np.ndarray | None = None,
     ct_full: np.ndarray | None = None,
     static_cache: dict[int, tuple] | None = None,
+    *,
+    stats: "KernelStats | None" = None,
 ) -> tuple[int, float]:
     """Return ``(argmax_j impr(i, j), max impr)`` — Algorithm 2's partner
     choice, evaluated exactly for all candidates at once."""
+    if stats is not None:
+        stats.kernel_calls += 1
+        stats.kernel_candidates += inst.m - 1
     impr, _ = batch_exchange_stats(
         inst, R, i, owners, loads, order_cache=order_cache,
         compute_moved=False, rt_full=rt_full, ct_full=ct_full,
@@ -283,6 +521,37 @@ def static_caches_enabled(m: int, h: int) -> bool:
     return m * m * h * 20 <= 256 * 1024 * 1024
 
 
+def screen_candidates(
+    inst: Instance,
+    loads: np.ndarray,
+    i: int,
+    *,
+    screen_width: int = 16,
+    screen_cache: dict[int, np.ndarray] | None = None,
+) -> np.ndarray:
+    """The O(m) screening pass: a cheap load-imbalance score pre-selects
+    ``screen_width`` candidates, plus the lowest-latency peers (load
+    scores miss communication-driven exchanges — the convergence tail
+    re-homes requests between near-balanced servers).
+
+    ``screen_cache`` may persist the per-server lowest-latency
+    argpartition — it depends only on the static latencies, so repeated
+    proposals from the same server skip that O(m) selection.
+    """
+    scores = _screen_scores(inst, loads, i)
+    width = min(screen_width, inst.m - 1)
+    by_score = np.argpartition(scores, -width)[-width:]
+    near = min(max(width // 2, 2), inst.m - 1)
+    by_latency = screen_cache.get(i) if screen_cache is not None else None
+    if by_latency is None:
+        by_latency = np.argpartition(inst.latency[i], near)[:near]
+        if screen_cache is not None:
+            screen_cache[i] = by_latency
+    cand = np.unique(np.concatenate([by_score, by_latency]))
+    cand = cand[cand != i]
+    return cand[np.isfinite(scores[cand])]
+
+
 def best_partner_screened(
     inst: Instance,
     R: np.ndarray,
@@ -290,33 +559,38 @@ def best_partner_screened(
     loads: np.ndarray,
     *,
     screen_width: int = 16,
+    owners: np.ndarray | None = None,
+    order_cache: dict[int, np.ndarray] | None = None,
     rt_full: np.ndarray | None = None,
+    ct_full: np.ndarray | None = None,
+    static_cache: dict[int, tuple] | None = None,
+    screen_cache: dict[int, np.ndarray] | None = None,
+    stats: "KernelStats | None" = None,
 ) -> tuple[int, float]:
-    """Partner choice via the O(m) screening pass: a cheap
-    load-imbalance score pre-selects ``screen_width`` candidates (plus
-    the lowest-latency peers, which cover communication-driven
-    exchanges), and only those get the exact Algorithm 1 evaluation.
+    """Partner choice via the O(m) screening pass: the pre-selected
+    candidates (:func:`screen_candidates`) get the exact Algorithm 1
+    evaluation in **one** batched dispatch
+    (:func:`batch_best_transfers`) instead of one per-pair kernel call
+    each.
 
     Stale ``loads`` enter the *scoring* only; the improvement returned
     is the exact improvement of the chosen candidate on the true ``R``.
+    The cache dictionaries mirror the exact path's static precomputes
+    (latency argsorts / transposes) plus the screened-only
+    ``screen_cache`` of per-server lowest-latency peers.
     """
-    scores = _screen_scores(inst, loads, i)
-    width = min(screen_width, inst.m - 1)
-    by_score = np.argpartition(scores, -width)[-width:]
-    # Load-imbalance scores miss communication-driven exchanges (the
-    # convergence tail re-homes requests between near-balanced
-    # servers); the lowest-latency peers cover that case cheaply.
-    near = min(max(width // 2, 2), inst.m - 1)
-    by_latency = np.argpartition(inst.latency[i], near)[:near]
-    cand = np.unique(np.concatenate([by_score, by_latency]))
-    cand = cand[cand != i]
-    cand = cand[np.isfinite(scores[cand])]
-    best_j, best_impr = -1, -np.inf
-    for j in cand:
-        ex = calc_best_transfer(inst, R, i, int(j), rt_full=rt_full)
-        if ex.improvement > best_impr:
-            best_j, best_impr = int(j), ex.improvement
-    return best_j, best_impr
+    cand = screen_candidates(
+        inst, loads, i, screen_width=screen_width, screen_cache=screen_cache
+    )
+    if cand.size == 0:
+        return -1, -np.inf
+    bt = batch_best_transfers(
+        inst, R, i, cand, owners=owners, order_cache=order_cache,
+        rt_full=rt_full, ct_full=ct_full, static_cache=static_cache,
+        stats=stats,
+    )
+    _, j, impr = bt.best()
+    return j, impr
 
 
 def propose_partner(
@@ -332,6 +606,8 @@ def propose_partner(
     rt_full: np.ndarray | None = None,
     ct_full: np.ndarray | None = None,
     static_cache: dict[int, tuple] | None = None,
+    screen_cache: dict[int, np.ndarray] | None = None,
+    stats: "KernelStats | None" = None,
 ) -> tuple[int, float]:
     """Server ``i``'s partner proposal against a (possibly stale) load view.
 
@@ -344,11 +620,12 @@ def propose_partner(
     ``strategy`` mirrors :class:`MinEOptimizer`: ``"exact"`` evaluates
     every candidate with the batched closed form (the expected
     improvement then reflects the stale view), ``"screened"`` runs the
-    O(m) pre-selection of :func:`best_partner_screened` (required at
-    fleet scale, where the exact batch is O(h·m log m) per proposal),
-    and ``"auto"`` picks by the :data:`EXACT_BUDGET` size threshold.
-    ``order_cache`` / ``rt_full`` / ``ct_full`` are the optional static
-    caches of :func:`batch_exchange_stats` for repeated exact calls.
+    O(m) pre-selection plus one :func:`batch_best_transfers` dispatch
+    (required at fleet scale, where the exact batch is O(h·m log m) per
+    proposal), and ``"auto"`` picks by the :data:`EXACT_BUDGET` size
+    threshold.  ``order_cache`` / ``rt_full`` / ``ct_full`` /
+    ``static_cache`` / ``screen_cache`` are the optional static caches
+    shared by both strategies; ``stats`` counts kernel dispatches.
     """
     if strategy not in ("exact", "screened", "auto"):
         raise ValueError(f"unknown strategy {strategy!r}")
@@ -361,10 +638,13 @@ def propose_partner(
     if strategy == "screened":
         view = loads if loads is not None else R.sum(axis=0)
         return best_partner_screened(
-            inst, R, i, view, screen_width=screen_width, rt_full=rt_full
+            inst, R, i, view, screen_width=screen_width, owners=owners,
+            order_cache=order_cache, rt_full=rt_full, ct_full=ct_full,
+            static_cache=static_cache, screen_cache=screen_cache, stats=stats,
         )
     return best_partner_exact(
-        inst, R, i, owners, loads, order_cache, rt_full, ct_full, static_cache
+        inst, R, i, owners, loads, order_cache, rt_full, ct_full, static_cache,
+        stats=stats,
     )
 
 
@@ -477,6 +757,10 @@ class MinEOptimizer:
         caches_ok = static_caches_enabled(m, h)
         self._order_cache: dict[int, np.ndarray] | None = {} if caches_ok else None
         self._static_cache: dict[int, tuple] | None = {} if caches_ok else None
+        # Per-server nearest-peer lists for the screening pass (static:
+        # latency only), and dispatch counters for the transfer kernels.
+        self._screen_cache: dict[int, np.ndarray] = {}
+        self.kernel_stats = KernelStats()
         # Contiguous transposes: the batch kernel reads along candidate
         # rows, so both R and the latency matrix are kept transposed.
         self._Ct = np.ascontiguousarray(state.inst.latency.T)
@@ -491,35 +775,64 @@ class MinEOptimizer:
         h = max(1, self.owners.size)
         return "exact" if h * self.state.inst.m <= EXACT_BUDGET else "screened"
 
+    def _selection_loads(self, i: int) -> np.ndarray:
+        """The (possibly stale) load vector server ``i`` selects from."""
+        if self.load_view is not None:
+            return self.load_view(i)
+        if self._snapshot_loads is not None:
+            return self._snapshot_loads
+        return self.state.loads
+
+    def _screened_best(self, i: int, loads: np.ndarray) -> CandidateTransfers:
+        """Screen + evaluate all of ``i``'s candidates in one kernel pass."""
+        cand = screen_candidates(
+            self.state.inst, loads, i,
+            screen_width=self.screen_width, screen_cache=self._screen_cache,
+        )
+        return batch_best_transfers(
+            self.state.inst, self.state.R, i, cand,
+            owners=self.owners, order_cache=self._order_cache,
+            rt_full=self._Rt, ct_full=self._Ct,
+            static_cache=self._static_cache, stats=self.kernel_stats,
+        )
+
     def best_partner(self, i: int) -> tuple[int, float]:
         """Partner choice of Algorithm 2 for server ``i``."""
         inst = self.state.inst
-        if self.load_view is not None:
-            loads = self.load_view(i)
-        elif self._snapshot_loads is not None:
-            loads = self._snapshot_loads
-        else:
-            loads = self.state.loads
+        loads = self._selection_loads(i)
         if self._effective_strategy() == "exact":
             return best_partner_exact(
                 inst, self.state.R, i, self.owners, loads,
                 self._order_cache, self._Rt, self._Ct, self._static_cache,
+                stats=self.kernel_stats,
             )
-        return best_partner_screened(
-            inst, self.state.R, i, loads,
-            screen_width=self.screen_width, rt_full=self._Rt,
-        )
+        _, j, impr = self._screened_best(i, loads).best()
+        return j, impr
 
     def step(self, i: int) -> PairExchange | None:
         """Algorithm 2 for a single server; returns the applied exchange."""
-        j, impr = self.best_partner(i)
+        if self._effective_strategy() == "exact":
+            j, impr = self.best_partner(i)
+            if j < 0 or impr <= self.min_improvement:
+                return None
+            ex = apply_pair_exchange(
+                self.state, i, j, min_improvement=self.min_improvement
+            )
+            if ex is None:
+                return None
+            self._Rt[i] = ex.col_i
+            self._Rt[j] = ex.col_j
+            return ex
+        # Screened: the winner's exchange columns come straight out of the
+        # same batched pass — staleness only affects candidate selection
+        # (the improvement itself is computed on true R), so the columns
+        # can be applied without a second kernel dispatch.
+        bt = self._screened_best(i, self._selection_loads(i))
+        pos, j, impr = bt.best()
         if j < 0 or impr <= self.min_improvement:
             return None
-        ex = apply_pair_exchange(
-            self.state, i, j, min_improvement=self.min_improvement
-        )
-        if ex is None:
-            return None
+        ex = bt.exchange(pos)
+        self.state.apply_pair_columns(i, j, ex.col_i, ex.col_j)
         self._Rt[i] = ex.col_i
         self._Rt[j] = ex.col_j
         return ex

@@ -88,6 +88,10 @@ class ReoptimizeResult:
     moved: float
     cost: float
     converged: bool
+    #: Algorithm 1 kernel dispatches made by the re-solve and the total
+    #: candidate count they covered (candidates/calls = batching factor).
+    kernel_calls: int = 0
+    kernel_candidates: int = 0
 
 
 def reoptimize(
@@ -153,7 +157,9 @@ def reoptimize(
             converged = optimum is None
             break
     return ReoptimizeResult(
-        sweeps, exchanges, exchanges_to_bound, moved, cost, converged
+        sweeps, exchanges, exchanges_to_bound, moved, cost, converged,
+        kernel_calls=optimizer.kernel_stats.kernel_calls,
+        kernel_candidates=optimizer.kernel_stats.kernel_candidates,
     )
 
 

@@ -87,6 +87,8 @@ class AgentStats:
     accept_timeouts: int = 0
     stale_messages: int = 0     #: replies whose token no longer matches
     skipped_proposals: int = 0  #: memoized: view and state unchanged
+    kernel_calls: int = 0       #: Algorithm 1 kernel dispatches
+    kernel_candidates: int = 0  #: candidates covered by those dispatches
 
 
 class ExchangeAgents:
@@ -163,13 +165,20 @@ class ExchangeAgents:
         # instead of strided column reads — the dominant cost of a
         # screened proposal at fleet scale).
         self._Rt = np.ascontiguousarray(state.R.T)
+        # Both strategies read candidate latency rows from the transpose;
+        # symmetric topologies (the common case) ARE their transpose, so
+        # reuse the instance matrix instead of materializing an m×m copy
+        # (200 MB at m = 5000).
+        lat = state.inst.latency
+        self._Ct = lat if np.array_equal(lat, lat.T) else np.ascontiguousarray(lat.T)
+        # Nearest-peer lists for the screening pass (latency-static, so
+        # never invalidated within a run).
+        self._screen_cache: dict[int, np.ndarray] = {}
         if self._use_exact:
-            self._Ct = np.ascontiguousarray(state.inst.latency.T)
             caches_ok = static_caches_enabled(m, h)
             self._order_cache: dict[int, np.ndarray] | None = {} if caches_ok else None
             self._static_cache: dict[int, tuple] | None = {} if caches_ok else None
         else:
-            self._Ct = None
             self._order_cache = None
             self._static_cache = None
         for i in range(m):
@@ -205,8 +214,6 @@ class ExchangeAgents:
             self.strategy == "auto" and h * m <= EXACT_BUDGET
         )
         if use_exact:
-            if self._Ct is None:
-                self._Ct = np.ascontiguousarray(state.inst.latency.T)
             if owners_changed or self._order_cache is None:
                 # The cached argsorts and latency slices are taken over
                 # the owner set; a changed owner set invalidates them.
@@ -257,6 +264,8 @@ class ExchangeAgents:
             rt_full=self._Rt,
             ct_full=self._Ct,
             static_cache=self._static_cache,
+            screen_cache=self._screen_cache,
+            stats=self.stats,
         )
         if j < 0 or impr <= self.min_improvement:
             self._futile[i] = stamp

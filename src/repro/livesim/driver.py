@@ -95,6 +95,16 @@ class LiveConfig:
     #: ships version-vector diffs (O(changes) payloads, bit-identical
     #: merge results — see :mod:`repro.livesim.gossip`).
     gossip_mode: str = "full"
+    #: Adaptive gossip frequency: scale each server's interval by a
+    #: merge-delta EMA — between ``gossip_adapt_min`` × interval while
+    #: its view churns and ``gossip_adapt_max`` × interval once
+    #: converged (``gossip_adapt_alpha`` is the EMA weight).  Off by
+    #: default; an adaptive-off run is bit-identical to earlier
+    #: releases.  Deterministic per seed either way.
+    gossip_adaptive: bool = False
+    gossip_adapt_min: float = 0.5
+    gossip_adapt_max: float = 4.0
+    gossip_adapt_alpha: float = 0.3
     #: Partner-selection strategy of the agents ("auto" = exact on small
     #: fleets, O(m) screened beyond ``EXACT_BUDGET``) and the screened
     #: candidate count.
@@ -326,6 +336,10 @@ class LiveSimulation:
             gossip_par.spawn(m),
             interval=cfg.gossip_interval,
             mode=cfg.gossip_mode,
+            adaptive=cfg.gossip_adaptive,
+            adapt_min=cfg.gossip_adapt_min,
+            adapt_max=cfg.gossip_adapt_max,
+            adapt_alpha=cfg.gossip_adapt_alpha,
             obs=self.obs,
         )
         initial_cost = self.state.total_cost()
@@ -400,6 +414,7 @@ class LiveSimulation:
             reg.bind("agents", self.agents.stats)
             reg.gauge("sched.queue_depth", fn=lambda: self.env.queue_size)
             reg.gauge("livesim.cost", fn=lambda: self._running_cost)
+            reg.gauge("gossip.interval", fn=self.gossip.mean_interval)
 
         self._sample_cost(exact=True)  # t = 0 anchor
 

@@ -141,6 +141,10 @@ class AsyncGossip:
         *,
         interval: float,
         mode: str = "full",
+        adaptive: bool = False,
+        adapt_min: float = 0.5,
+        adapt_max: float = 4.0,
+        adapt_alpha: float = 0.3,
         obs=None,
     ):
         m = inst.m
@@ -148,6 +152,11 @@ class AsyncGossip:
             raise ValueError("need one RNG seed per server")
         if mode not in GOSSIP_MODES:
             raise ValueError(f"gossip mode must be one of {GOSSIP_MODES}, got {mode!r}")
+        if adaptive:
+            if not (0.0 < adapt_min <= adapt_max):
+                raise ValueError("need 0 < adapt_min <= adapt_max")
+            if not (0.0 < adapt_alpha <= 1.0):
+                raise ValueError("adapt_alpha must be in (0, 1]")
         self.env = env
         self.net = net
         self.inst = inst
@@ -155,6 +164,17 @@ class AsyncGossip:
         self.alive = alive
         self.interval = float(interval)
         self.mode = mode
+        # Adaptive frequency: per-server interval scale driven by a
+        # merge-delta EMA (see _tick).  Scale 1.0 == the fixed interval;
+        # with ``adaptive`` off nothing below is ever touched, so the
+        # event sequence is bit-identical to a fixed-interval run.
+        self.adaptive = bool(adaptive)
+        self.adapt_min = float(adapt_min)
+        self.adapt_max = float(adapt_max)
+        self.adapt_alpha = float(adapt_alpha)
+        self._adapt_scale = [1.0] * m
+        self._adapt_ema = [1.0] * m
+        self._adapt_last = [0] * m
         self.rngs = [np.random.default_rng(s) for s in seeds]
         self.stats = GossipStats()
         # Tracing hook (repro.obs): None keeps every handler on the
@@ -309,6 +329,15 @@ class AsyncGossip:
         for i in range(inst.m):
             if self.alive[i]:
                 self.publish(i)
+        if self.adaptive:
+            # New demand means every view is about to churn again: snap
+            # the EMAs back to the neutral operating point so the fleet
+            # re-spreads the new loads at full rate instead of waking up
+            # from a stretched converged-state interval.
+            m = inst.m
+            self._adapt_ema = [1.0] * m
+            self._adapt_scale = [1.0] * m
+            self._adapt_last = list(self.update_counts)
 
     # ------------------------------------------------------------------
     # Publish / packet / merge — Python-list representation (small m)
@@ -503,11 +532,48 @@ class AsyncGossip:
     def _arm(self, i: int) -> None:
         # Jittered interval: desynchronizes the population so gossip
         # traffic is spread over time instead of thundering in herds.
+        # The adaptive scale multiplies the whole window, so jitter keeps
+        # its relative spread at every frequency.
         self.env.call_in(
-            self.interval * (0.5 + self._jitter[i].next()), self._tick, i
+            self.interval * (0.5 + self._jitter[i].next()) * self._adapt_scale[i],
+            self._tick,
+            i,
         )
 
+    def _adapt(self, i: int) -> None:
+        """Re-derive server ``i``'s interval scale from how much its view
+        changed since its last cycle (an EMA of per-cycle merge deltas):
+        a churning view shrinks the interval toward ``adapt_min`` × base,
+        a converged one stretches it toward ``adapt_max`` × base.  Driven
+        entirely by ``update_counts`` — no extra RNG draws — so adaptive
+        runs stay deterministic per seed."""
+        count = self.update_counts[i]
+        delta = count - self._adapt_last[i]
+        self._adapt_last[i] = count
+        a = self.adapt_alpha
+        ema = a * delta + (1.0 - a) * self._adapt_ema[i]
+        self._adapt_ema[i] = ema
+        # ema = 0 (nothing changing) → adapt_max; each 0.5 changes/cycle
+        # halves the scale; ema = 1 lands exactly on 1.0 when
+        # adapt_max = 4 (the default neutral operating point).
+        scale = self.adapt_max * 0.5 ** (ema / 0.5)
+        if scale < self.adapt_min:
+            scale = self.adapt_min
+        elif scale > self.adapt_max:
+            scale = self.adapt_max
+        self._adapt_scale[i] = scale
+
+    def mean_interval(self) -> float:
+        """Mean effective gossip interval across live servers (the
+        ``gossip.interval`` observability gauge)."""
+        live = [s for s, a in zip(self._adapt_scale, self.alive) if a]
+        if not live:
+            return float("nan")
+        return self.interval * float(np.mean(live))
+
     def _tick(self, i: int) -> None:
+        if self.adaptive:
+            self._adapt(i)
         draw = self._peer_draw[i]
         if draw is not None and self.alive[i]:
             self.publish(i)

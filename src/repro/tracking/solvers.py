@@ -127,6 +127,8 @@ class _MinETrackerBase:
                 "exchanges": res.exchanges,
                 "exchanges_to_bound": res.exchanges_to_bound,
                 "moved": res.moved,
+                "kernel_calls": res.kernel_calls,
+                "kernel_candidates": res.kernel_candidates,
             },
         )
 

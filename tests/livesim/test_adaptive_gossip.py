@@ -1,0 +1,167 @@
+"""Adaptive gossip frequency: deterministic, neutral-safe, and useful.
+
+The adaptive mechanism scales each server's gossip interval by a
+merge-delta EMA (``repro.livesim.gossip.AsyncGossip._adapt``).  It must
+
+* change **nothing** when off: ``gossip_adaptive=False`` pins every
+  scale at 1.0 and skips the EMA update entirely, so the event sequence
+  is bit-identical to releases that predate the knob (the PR-6 trace
+  reproduction guarantee) — asserted here by running the neutral
+  adaptive configuration (``adapt_min == adapt_max == 1``), whose only
+  difference from "off" is that the new code path executes, on every
+  registered scenario preset;
+* stay a pure function of (instance, config, seed) when on — identical
+  event traces, allocations and byte-identical trace JSONL across
+  same-seed runs, because it draws no extra randomness;
+* actually adapt: a converged fleet's mean effective interval stretches
+  above the base interval.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import obs
+from repro.livesim import LiveConfig, LiveSimulation, get_live_preset
+from repro.workloads import PRESETS, cached_instance, get_scenario
+
+
+def _adaptive(cfg: LiveConfig, **over) -> LiveConfig:
+    return dataclasses.replace(cfg, gossip_adaptive=True, **over)
+
+
+def _run(inst, cfg, seed, rounds=40):
+    sim = LiveSimulation(inst, config=cfg, seed=seed)
+    rep = sim.run(rounds=rounds)
+    return sim, rep
+
+
+def _assert_same_run(sim_a, rep_a, sim_b, rep_b, label=""):
+    assert rep_a.trace == rep_b.trace, f"{label}: traces diverged"
+    assert rep_a.trace, f"{label}: trace should not be empty"
+    assert rep_a.events_processed == rep_b.events_processed, (
+        f"{label}: event counts diverged"
+    )
+    np.testing.assert_array_equal(sim_a.state.R, sim_b.state.R)
+    np.testing.assert_array_equal(rep_a.costs, rep_b.costs)
+    assert rep_a.net.sent == rep_b.net.sent
+    assert rep_a.agents == rep_b.agents
+    assert rep_a.gossip == rep_b.gossip
+
+
+class TestOffIsLegacy:
+    def test_neutral_adaptive_equals_off_on_all_presets(self):
+        """``adapt_min = adapt_max = 1`` clamps every scale to 1.0, so
+        the run must be indistinguishable from adaptive-off — proving
+        the off path (scale pinned at 1.0, no EMA) reproduces the
+        pre-knob event sequence on every registered preset."""
+        cfg_off = get_live_preset("lossy")
+        cfg_neutral = _adaptive(cfg_off, gossip_adapt_min=1.0, gossip_adapt_max=1.0)
+        for sc in PRESETS:
+            inst = cached_instance(sc, 12, 0)
+            sim_a, rep_a = _run(inst, cfg_off, seed=5)
+            sim_b, rep_b = _run(inst, cfg_neutral, seed=5)
+            _assert_same_run(sim_a, rep_a, sim_b, rep_b, sc.name)
+
+    def test_off_run_never_touches_scales(self):
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        sim, _ = _run(inst, get_live_preset("ideal"), seed=3)
+        assert sim.gossip._adapt_scale == [1.0] * inst.m
+        assert sim.gossip.mean_interval() == sim.config.gossip_interval
+
+
+class TestAdaptiveDeterminism:
+    def test_same_seed_identical_on_all_presets(self):
+        cfg = _adaptive(get_live_preset("lossy"))
+        for sc in PRESETS:
+            inst = cached_instance(sc, 12, 0)
+            sim_a, rep_a = _run(inst, cfg, seed=11)
+            sim_b, rep_b = _run(inst, cfg, seed=11)
+            _assert_same_run(sim_a, rep_a, sim_b, rep_b, sc.name)
+
+    def test_trace_jsonl_byte_identical(self):
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        cfg = _adaptive(get_live_preset("lossy"))
+
+        def trace_bytes(seed):
+            o = obs.Observability(trace=True)
+            sim = LiveSimulation(inst, config=cfg, seed=seed, obs=o)
+            sim.run(rounds=40)
+            return o.tracer.to_jsonl()
+
+        text_a = trace_bytes(7)
+        text_b = trace_bytes(7)
+        assert text_a == text_b
+        assert text_a.count("\n") > 10
+        assert trace_bytes(8) != text_a
+
+    def test_adaptive_with_churn_identical(self):
+        inst = cached_instance(get_scenario("paper-planetlab"), 16, 0)
+        cfg = _adaptive(get_live_preset("churn"))
+        sim_a, rep_a = _run(inst, cfg, seed=2, rounds=60)
+        sim_b, rep_b = _run(inst, cfg, seed=2, rounds=60)
+        _assert_same_run(sim_a, rep_a, sim_b, rep_b, "churn")
+        assert rep_a.failures == rep_b.failures
+
+    def test_split_run_matches_long_run(self):
+        inst = cached_instance(get_scenario("paper-homogeneous"), 10, 0)
+        cfg = _adaptive(get_live_preset("lossy"))
+        sim_long = LiveSimulation(inst, config=cfg, seed=4)
+        rep_long = sim_long.run(rounds=60)
+        sim_split = LiveSimulation(inst, config=cfg, seed=4)
+        sim_split.run(rounds=30)
+        rep_split = sim_split.run(rounds=30)
+        assert rep_long.trace == rep_split.trace
+        np.testing.assert_array_equal(sim_long.state.R, sim_split.state.R)
+
+
+class TestAdaptationBehavior:
+    def test_converged_fleet_stretches_interval(self):
+        """Once the fleet converges nothing merges with new values, the
+        EMAs decay toward zero, and the mean effective interval climbs
+        above the base interval (toward ``adapt_max`` × base)."""
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        cfg = _adaptive(get_live_preset("ideal"))
+        sim, rep = _run(inst, cfg, seed=0, rounds=120)
+        base = sim.config.gossip_interval
+        assert sim.gossip.mean_interval() > 1.5 * base
+        assert max(sim.gossip._adapt_scale) <= cfg.gossip_adapt_max
+        assert min(sim.gossip._adapt_scale) >= cfg.gossip_adapt_min
+
+    def test_still_converges(self):
+        """Adaptive scheduling must not break convergence to the 2 %
+        bound (gossip slows only where views stopped changing)."""
+        from repro.workloads.cache import cached_optimum
+
+        sc = get_scenario("paper-planetlab")
+        inst = cached_instance(sc, 12, 0)
+        _, opt_cost, _, _ = cached_optimum(sc, 12, 0)
+        cfg = _adaptive(get_live_preset("ideal"))
+        sim, rep = _run(inst, cfg, seed=1, rounds=120)
+        err = (sim.state.total_cost() - opt_cost) / opt_cost
+        assert err <= 0.02
+
+    def test_interval_gauge_exposed(self):
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        cfg = _adaptive(get_live_preset("ideal"))
+        o = obs.Observability()
+        sim = LiveSimulation(inst, config=cfg, seed=0, obs=o)
+        sim.run(rounds=30)
+        snap = o.metrics.snapshot()
+        assert "gossip.interval" in snap["metrics"]
+        assert snap["metrics"]["gossip.interval"] > 0
+
+    def test_demand_refresh_resets_adaptation(self):
+        """A demand shift snaps the EMAs back to the neutral operating
+        point so the fleet re-spreads new loads at full rate."""
+        inst = cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        cfg = _adaptive(get_live_preset("ideal"))
+        sim, _ = _run(inst, cfg, seed=0, rounds=120)
+        assert sim.gossip.mean_interval() > sim.config.gossip_interval
+        rng = np.random.default_rng(0)
+        new_loads = inst.loads * rng.uniform(0.5, 2.0, size=inst.m)
+        sim.apply_demand(new_loads)
+        assert sim.gossip._adapt_scale == [1.0] * inst.m
+        assert sim.gossip.mean_interval() == sim.config.gossip_interval
