@@ -33,6 +33,7 @@ FILES = (
     "BENCH_livesim.json",
     "BENCH_tracking.json",
     "BENCH_obs.json",
+    "BENCH_byz.json",
 )
 
 

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Byzantine robustness: what the robust merge buys under attack.
+
+Compromised servers cannot corrupt an allocation directly — the
+pairwise handshake settles transfers on true state — but their *gossip*
+can lie: stale repeaters freeze the fleet's views, freeloaders claim
+zero load and refuse every exchange, fabricators forge entries about
+third parties.  This example runs one ``byzantine-*`` preset across
+``f = 0 .. f_max`` compromised servers, with the legacy merge and with
+the robust merge (quorum + trimmed mean + placement clamps), and prints
+the degradation curves side by side — plus whether the robust merge's
+per-server suspicion scores point at the actual adversaries.
+
+Run: python examples/byzantine_robustness.py
+"""
+
+import dataclasses
+import os
+
+import numpy as np
+
+from repro.byz import get_byz_preset, run_byz
+
+
+def main() -> None:
+    preset = get_byz_preset("byzantine-stale")
+    m = int(os.environ.get("REPRO_EXAMPLE_M", str(preset.m)))
+    if m != preset.m:
+        preset = dataclasses.replace(preset, m=m)
+    print(
+        f"preset {preset.name}: {preset.model.model} on {preset.scenario}, "
+        f"m={preset.m}, f_max={preset.f_max}, "
+        f"bound {preset.error_bound:.0%} of the offline optimum\n"
+    )
+
+    print(f"{'f':>3} {'legacy merge':>14} {'robust merge':>14}")
+    last = None
+    for f in range(preset.f_max + 1):
+        legacy = run_byz(preset, f=f, robust=False)
+        robust = run_byz(preset, f=f, robust=True)
+        verdict = "" if robust.within_bound else "  <-- robust broke"
+        if not legacy.within_bound and robust.within_bound:
+            verdict = "  <-- robust holds, legacy broke"
+        print(
+            f"{f:>3} {legacy.error:>14.4f} {robust.error:>14.4f}{verdict}"
+        )
+        last = robust
+
+    top = np.argsort(last.suspicion)[::-1][: len(last.adversaries)]
+    hit = set(int(s) for s in top) == set(last.adversaries)
+    print(
+        f"\nat f={last.f}: compromised servers {sorted(last.adversaries)}, "
+        f"top-{last.f} suspicion {sorted(int(s) for s in top)}"
+        f" — {'identified' if hit else 'partially masked'}"
+    )
+    print(
+        f"robust merge stats: {last.report.gossip.robust_accepts} quorum "
+        f"accepts, {last.report.gossip.quorum_holds} held, "
+        f"{last.report.gossip.clamps} placement clamps, "
+        f"{last.report.gossip.outliers} outliers trimmed"
+    )
+
+
+if __name__ == "__main__":
+    main()

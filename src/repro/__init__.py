@@ -50,7 +50,7 @@ result store makes long sweeps crash-safe and resumable:
 ... ).run(backend="process", store="sweep.jsonl")   # doctest: +SKIP
 """
 
-from . import obs
+from . import byz, obs
 from .core import *  # noqa: F401,F403 - curated in core.__all__
 from .core import __all__ as _core_all
 from .engine import (
@@ -111,6 +111,7 @@ from .workloads import (
 __version__ = "1.1.0"
 
 __all__ = list(_core_all) + [
+    "byz",
     "obs",
     "min_cost_flow",
     "solve_transportation",

@@ -1,0 +1,53 @@
+"""``repro.byz`` — Byzantine-robust gossip experiments.
+
+The livesim gossip plane (PR 5–7) trusts every entry by version: a
+single server that lies about loads can freeze fleet views, livelock
+every honest agent on a phantom idle server, or permanently poison
+third-party entries.  This package supplies the other half of the
+robustness story:
+
+* :mod:`repro.byz.adversaries` — a deterministic adversary plane
+  (:class:`ByzantineModel` / :class:`AdversaryPlane`) scheduled like
+  churn, modelling stale-repeaters, load-underreporters,
+  value-fabricators and flappers on entropy-separated RNG streams;
+* :mod:`repro.byz.scenarios` — the ``byzantine-*`` preset family
+  crossing adversary model × trust topology with per-preset ``f_max``
+  budgets;
+* :mod:`repro.byz.driver` — :func:`run_byz` / :func:`error_vs_f`,
+  measuring convergence error against the offline optimum as ``f``
+  grows, with the robust merge on or off.
+
+The defense itself lives in :mod:`repro.livesim.gossip`
+(``merge_mode="robust"``): quorum + trimmed-mean acceptance for relayed
+claims, placement-floor clamps and pair-sync observations for
+self-claims, and per-server suspicion scores surfaced as ``byz.*``
+metrics.
+
+>>> from repro.byz import run_byz
+>>> r = run_byz("byzantine-stale", f=2, robust=True)   # doctest: +SKIP
+>>> r.error <= 0.02, r.suspicion_ranks_adversaries()   # doctest: +SKIP
+(True, True)
+"""
+
+from .adversaries import (
+    ADVERSARY_MODELS,
+    AdversaryPlane,
+    ByzantineModel,
+    ByzStats,
+)
+from .driver import ByzRunResult, error_vs_f, run_byz
+from .scenarios import BYZ_PRESETS, ByzPreset, get_byz_preset, list_byz_presets
+
+__all__ = [
+    "ADVERSARY_MODELS",
+    "AdversaryPlane",
+    "ByzantineModel",
+    "ByzStats",
+    "ByzRunResult",
+    "run_byz",
+    "error_vs_f",
+    "BYZ_PRESETS",
+    "ByzPreset",
+    "get_byz_preset",
+    "list_byz_presets",
+]

@@ -1,0 +1,112 @@
+"""Harness over the ``byzantine-*`` family: run one cell, sweep f.
+
+:func:`run_byz` materializes a preset's instance (memoized through
+:mod:`repro.workloads.cache`), attaches ``f`` adversaries, runs the
+live control plane for the preset's round budget and reports the
+relative convergence error against the offline optimum — the §VI
+metric, now measured under attack.  :func:`error_vs_f` sweeps ``f`` to
+draw the graceful-degradation curve: flat and under ``error_bound`` up
+to ``f_max`` with the robust merge on, climbing (or livelocked) with it
+off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..livesim.driver import LiveReport, LiveSimulation
+from ..workloads.cache import cached_instance, cached_optimum
+from ..workloads.scenario import get_scenario
+from .scenarios import ByzPreset, get_byz_preset
+
+__all__ = ["ByzRunResult", "run_byz", "error_vs_f"]
+
+
+@dataclass
+class ByzRunResult:
+    """One (preset, f, merge mode) measurement."""
+
+    preset: str
+    f: int
+    robust: bool
+    seed: int
+    error: float                 #: final relative error vs the optimum
+    adversaries: tuple[int, ...]  #: compromised server ids (empty at f=0)
+    optimum_cost: float
+    report: LiveReport = field(repr=False)
+    #: per-server suspicion (robust merge only, else ``None``)
+    suspicion: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def within_bound(self) -> bool:
+        """Whether the run met its preset's acceptance bound (set by
+        :func:`run_byz`)."""
+        return bool(self.error <= self._bound)
+
+    _bound: float = field(default=0.02, repr=False)
+
+    def suspicion_ranks_adversaries(self) -> bool:
+        """Whether the ``f`` most-suspected servers are exactly the
+        compromised ones (vacuously true at f=0 or under legacy)."""
+        if self.suspicion is None or not self.adversaries:
+            return True
+        top = np.argsort(self.suspicion)[::-1][: len(self.adversaries)]
+        return set(int(s) for s in top) == set(self.adversaries)
+
+
+def run_byz(
+    preset: str | ByzPreset,
+    *,
+    f: int,
+    robust: bool,
+    seed: int = 0,
+    rounds: float | None = None,
+) -> ByzRunResult:
+    """Run one cell of the Byzantine robustness grid."""
+    p = get_byz_preset(preset) if isinstance(preset, str) else preset
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    sc = get_scenario(p.scenario)
+    inst = cached_instance(sc, p.m, seed)
+    _opt_state, opt_cost, _wall, _hit = cached_optimum(sc, p.m, seed)
+    cfg = p.config_for(f, robust=robust)
+    sim = LiveSimulation(inst, config=cfg, seed=seed, optimum=opt_cost)
+    report = sim.run(rounds=p.rounds if rounds is None else rounds)
+    adversaries = sim.byz.servers if sim.byz is not None else ()
+    return ByzRunResult(
+        preset=p.name,
+        f=int(f),
+        robust=bool(robust),
+        seed=int(seed),
+        error=float(report.final_error),
+        adversaries=tuple(adversaries),
+        optimum_cost=float(opt_cost),
+        report=report,
+        suspicion=report.suspicion,
+        _bound=p.error_bound,
+    )
+
+
+def error_vs_f(
+    preset: str | ByzPreset,
+    *,
+    fs: tuple[int, ...] | None = None,
+    robust: bool = True,
+    seed: int = 0,
+    rounds: float | None = None,
+) -> dict[int, float]:
+    """Final convergence error for each ``f`` — the degradation curve.
+
+    Defaults to ``f = 0 .. f_max + 2``: the tail past ``f_max`` is where
+    even the robust merge is *expected* to break (colluding quorums),
+    which the benchmark records rather than hides.
+    """
+    p = get_byz_preset(preset) if isinstance(preset, str) else preset
+    if fs is None:
+        fs = tuple(range(p.f_max + 3))
+    return {
+        int(f): run_byz(p, f=int(f), robust=robust, seed=seed, rounds=rounds).error
+        for f in fs
+    }

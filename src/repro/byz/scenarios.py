@@ -1,0 +1,159 @@
+"""The ``byzantine-*`` preset family: adversary model × trust topology.
+
+A :class:`ByzPreset` fixes everything about a Byzantine robustness
+experiment except the two axes swept by the harness — the number of
+compromised servers ``f`` and whether the robust merge is on.  Presets
+are sized for the acceptance suite (small fleets, bounded round
+budgets): with the robust merge on, convergence error stays within
+``error_bound`` of the offline optimum for every ``f <= f_max``; with
+it off, the same adversaries measurably break convergence.
+
+``f_max`` is where the quorum arithmetic says the defense holds: with
+quorum ``q`` and ``t`` trimmed per side, up to ``t`` colluding liars
+inside any one quorum are discarded outright, and the placement clamp +
+pair-sync observations catch self-lies independently of ``f``.  Stale
+repeaters share *identical* frozen values, so past ``f_max`` they can
+dominate quorums while agreeing with each other — the breakdown the
+``error_vs_f`` sweep exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..livesim.driver import LiveConfig
+from .adversaries import ByzantineModel
+
+__all__ = ["ByzPreset", "BYZ_PRESETS", "get_byz_preset", "list_byz_presets"]
+
+
+@dataclass(frozen=True)
+class ByzPreset:
+    """One named Byzantine experiment (everything but ``f`` and the
+    merge mode).
+
+    ``scenario`` names a registered workload scenario — the trust axis
+    comes for free by naming a ``TRUST_PRESETS`` entry, whose instance
+    already carries the §II inf-latency restriction.
+    """
+
+    name: str
+    scenario: str
+    model: ByzantineModel            #: template; ``f`` is replaced per run
+    m: int = 24
+    f_max: int = 3                   #: robustness holds for f <= f_max
+    rounds: float = 240.0            #: agent-round budget per run
+    error_bound: float = 0.02        #: paper's 2 % acceptance bound
+    live: LiveConfig = LiveConfig()  #: base control-plane config
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.f_max < 1:
+            raise ValueError("f_max must be >= 1")
+        if self.f_max > self.m // 4:
+            raise ValueError(
+                f"f_max={self.f_max} is too aggressive for m={self.m}; "
+                "the trimmed quorum needs an honest majority with slack"
+            )
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if not 0 < self.error_bound < 1:
+            raise ValueError("error_bound must be in (0, 1)")
+
+    def model_for(self, f: int) -> ByzantineModel:
+        """The preset's adversary model with ``f`` compromised servers."""
+        return replace(self.model, f=int(f))
+
+    def config_for(self, f: int, *, robust: bool) -> LiveConfig:
+        """The resolved-later :class:`LiveConfig` of one (f, mode) run."""
+        return replace(
+            self.live,
+            merge_mode="robust" if robust else "legacy",
+            byzantine=self.model_for(f) if f > 0 else None,
+        )
+
+
+_REGISTRY: dict[str, ByzPreset] = {}
+
+
+def _register(preset: ByzPreset) -> ByzPreset:
+    if preset.name in _REGISTRY:
+        raise ValueError(f"byz preset {preset.name!r} already registered")
+    _REGISTRY[preset.name] = preset
+    return preset
+
+
+def get_byz_preset(name: str) -> ByzPreset:
+    """Look up a ``byzantine-*`` preset by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown byz preset {name!r}; known: {known}") from None
+
+
+def list_byz_presets() -> dict[str, str]:
+    """``{name: description}`` of the registered family."""
+    return {name: p.description for name, p in sorted(_REGISTRY.items())}
+
+
+BYZ_PRESETS: tuple[ByzPreset, ...] = tuple(
+    _register(p)
+    for p in (
+        ByzPreset(
+            name="byzantine-stale",
+            scenario="paper-planetlab",
+            model=ByzantineModel(model="stale-repeater"),
+            # Identical frozen tables collude inside quorums, so the
+            # trimmed quorum (q=3, t=1) tolerates f < q colluders.
+            f_max=2,
+            description="Stale repeaters freeze fleet views on PlanetLab RTTs",
+        ),
+        ByzPreset(
+            name="byzantine-underreport",
+            scenario="paper-planetlab",
+            model=ByzantineModel(model="load-underreporter", underreport_factor=0.0),
+            description="Blackholes claim zero load, then refuse every exchange",
+        ),
+        ByzPreset(
+            name="byzantine-fabricator",
+            scenario="hub-heavytail",
+            # Lure biased low: forged views systematically *hide* true
+            # imbalance and funnel every proposal through the
+            # apparent-idle server.  That serializes the fleet's
+            # exchanges rather than stopping them — a slow-poison — so
+            # the round budget is where legacy visibly lags: at 60
+            # rounds the robust merge has long converged while the
+            # legacy funnel is still ~2x outside the bound.
+            model=ByzantineModel(model="value-fabricator", fabricate_scale=0.5),
+            rounds=60.0,
+            description="Fabricators poison third-party entries on the hub federation",
+        ),
+        ByzPreset(
+            name="byzantine-flapper",
+            scenario="paper-planetlab",
+            model=ByzantineModel(model="flapper", flap_inner="stale-repeater"),
+            f_max=2,
+            description="Flappers alternate honest and stale-repeating phases",
+        ),
+        ByzPreset(
+            name="byzantine-stale-random-trust",
+            scenario="planetlab-random-trust",
+            # The dense random trust graph spreads the frozen forgeries
+            # fleet-wide fast; the attack runs at double cadence so the
+            # views stay pinned past the error bound.
+            model=ByzantineModel(
+                model="stale-repeater", cadence_scale=0.5, version_bump=5
+            ),
+            f_max=2,
+            description="Stale repeaters inside an Erdős–Rényi trust graph (restricted optimum)",
+        ),
+        ByzPreset(
+            name="byzantine-underreport-delta",
+            scenario="paper-planetlab",
+            model=ByzantineModel(model="load-underreporter", underreport_factor=0.0),
+            live=LiveConfig(gossip_mode="delta"),
+            description="Blackhole underreporters against the delta wire format",
+        ),
+    )
+)

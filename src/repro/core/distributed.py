@@ -495,10 +495,15 @@ def best_partner_exact(
     ct_full: np.ndarray | None = None,
     static_cache: dict[int, tuple] | None = None,
     *,
+    exclude=None,
     stats: "KernelStats | None" = None,
 ) -> tuple[int, float]:
     """Return ``(argmax_j impr(i, j), max impr)`` — Algorithm 2's partner
-    choice, evaluated exactly for all candidates at once."""
+    choice, evaluated exactly for all candidates at once.
+
+    ``exclude`` (an iterable of server ids) removes candidates from the
+    argmax — the livesim agents shun partners whose handshakes keep
+    failing."""
     if stats is not None:
         stats.kernel_calls += 1
         stats.kernel_candidates += inst.m - 1
@@ -507,6 +512,9 @@ def best_partner_exact(
         compute_moved=False, rt_full=rt_full, ct_full=ct_full,
         static_cache=static_cache,
     )
+    if exclude is not None:
+        impr = impr.copy()
+        impr[np.fromiter(exclude, dtype=np.intp)] = -np.inf
     j = int(np.argmax(impr))
     return j, float(impr[j])
 
@@ -565,6 +573,7 @@ def best_partner_screened(
     ct_full: np.ndarray | None = None,
     static_cache: dict[int, tuple] | None = None,
     screen_cache: dict[int, np.ndarray] | None = None,
+    exclude=None,
     stats: "KernelStats | None" = None,
 ) -> tuple[int, float]:
     """Partner choice via the O(m) screening pass: the pre-selected
@@ -582,6 +591,8 @@ def best_partner_screened(
     cand = screen_candidates(
         inst, loads, i, screen_width=screen_width, screen_cache=screen_cache
     )
+    if exclude is not None and cand.size:
+        cand = cand[~np.isin(cand, np.fromiter(exclude, dtype=np.intp))]
     if cand.size == 0:
         return -1, -np.inf
     bt = batch_best_transfers(
@@ -607,6 +618,7 @@ def propose_partner(
     ct_full: np.ndarray | None = None,
     static_cache: dict[int, tuple] | None = None,
     screen_cache: dict[int, np.ndarray] | None = None,
+    exclude=None,
     stats: "KernelStats | None" = None,
 ) -> tuple[int, float]:
     """Server ``i``'s partner proposal against a (possibly stale) load view.
@@ -640,11 +652,12 @@ def propose_partner(
         return best_partner_screened(
             inst, R, i, view, screen_width=screen_width, owners=owners,
             order_cache=order_cache, rt_full=rt_full, ct_full=ct_full,
-            static_cache=static_cache, screen_cache=screen_cache, stats=stats,
+            static_cache=static_cache, screen_cache=screen_cache,
+            exclude=exclude, stats=stats,
         )
     return best_partner_exact(
         inst, R, i, owners, loads, order_cache, rt_full, ct_full, static_cache,
-        stats=stats,
+        exclude=exclude, stats=stats,
     )
 
 

@@ -39,7 +39,14 @@ Quickstart:
 """
 
 from .agents import AgentStats, ExchangeAgents
-from .churn import ChurnModel, fail_server, rejoin_server, start_churn
+from .churn import (
+    ChurnModel,
+    FailureTrace,
+    fail_server,
+    rejoin_server,
+    start_churn,
+    start_trace_churn,
+)
 from .driver import (
     LIVE_PRESETS,
     LiveConfig,
@@ -47,7 +54,7 @@ from .driver import (
     LiveSimulation,
     get_live_preset,
 )
-from .gossip import GOSSIP_MODES, AsyncGossip, GossipStats
+from .gossip import GOSSIP_MODES, MERGE_MODES, AsyncGossip, GossipStats
 from .net import ControlNetwork, NetStats
 from .sweep import LiveCell, evaluate_live_cell, live_sweep
 
@@ -60,12 +67,15 @@ __all__ = [
     "AsyncGossip",
     "GossipStats",
     "GOSSIP_MODES",
+    "MERGE_MODES",
     "ExchangeAgents",
     "AgentStats",
     "ControlNetwork",
     "NetStats",
     "ChurnModel",
+    "FailureTrace",
     "start_churn",
+    "start_trace_churn",
     "fail_server",
     "rejoin_server",
     "LiveCell",

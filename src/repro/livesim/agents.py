@@ -140,6 +140,32 @@ class ExchangeAgents:
         self.rngs = [np.random.default_rng(s) for s in seeds]
         self._jitter = [BufferedUniform(r) for r in self.rngs]
         self.stats = AgentStats()
+        # Under the Byzantine-robust merge, a completed handshake doubles
+        # as a first-hand load observation of the partner (the pair-sync
+        # already exchanged the true state): feed it back into the gossip
+        # table.  None under the legacy merge — bit-identical traces.
+        self._observe = (
+            gossip.observe_peer
+            if getattr(gossip, "merge_mode", "legacy") == "robust"
+            else None
+        )
+        #: Optional refusal predicate ``(acceptor, proposer) -> bool``
+        #: installed by the adversary plane: a compromised acceptor that
+        #: returns True rejects the proposal (a blackhole protecting
+        #: its claimed idleness).  None on honest runs.
+        self.refuse: Callable[[int, int], bool] | None = None
+        # Per-partner shun table (robust merge only): a partner whose
+        # handshakes keep failing (REJECT or timeout — the channels
+        # carrying no load information) is excluded from selection for
+        # an exponentially growing cooldown, so a server that lures
+        # proposals but never completes them cannot livelock the fleet.
+        # Honest busy-rejects only ever produce short cooldowns (the
+        # streak breaks as soon as one handshake completes); persistent
+        # refusers escalate to the cap and effectively drop out of the
+        # partner pool.  ``None`` (legacy) keeps traces bit-identical.
+        self._shun: list[dict[int, tuple[float, float]]] | None = (
+            [dict() for _ in range(m)] if self._observe is not None else None
+        )
         # Tracing hook (repro.obs): None keeps every handler untraced.
         self._tracer = obs.tracer if obs is not None else None
         self.owners = np.flatnonzero(state.inst.loads > 0)
@@ -234,6 +260,19 @@ class ExchangeAgents:
         b = self.backoff[i] * self.backoff_factor
         self.backoff[i] = b if b < self.backoff_max else self.backoff_max
 
+    def _shun_partner(self, i: int, j: int) -> None:
+        """Escalate ``i``'s cooldown on partner ``j`` after a failed
+        handshake (robust merge only; no-op otherwise)."""
+        if self._shun is None:
+            return
+        _until, cd = self._shun[i].get(j, (0.0, 0.0))
+        cd = self.interval if cd == 0.0 else min(cd * 2.0, 64.0 * self.interval)
+        self._shun[i][j] = (self.env.now + cd, cd)
+        if cd >= 8.0 * self.interval:
+            # Four consecutive failures with the same partner is no
+            # longer busy-slot noise: feed it to the suspicion plane.
+            self.gossip.note_unresponsive(j)
+
     # ------------------------------------------------------------------
     def _arm(self, i: int) -> None:
         delay = self.interval * (0.5 + self._jitter[i].next()) * self.backoff[i]
@@ -254,6 +293,12 @@ class ExchangeAgents:
         if self._futile[i] is not None:
             # Fresh information after a futile spell: react at full rate.
             self.backoff[i] = 1.0
+        excl = None
+        if self._shun is not None and self._shun[i]:
+            now = self.env.now
+            excl = [
+                p for p, (until, _cd) in self._shun[i].items() if until > now
+            ] or None
         view = self.gossip.view(i)
         j, impr = propose_partner(
             self.state.inst, self.state.R, i, view,
@@ -265,10 +310,14 @@ class ExchangeAgents:
             ct_full=self._Ct,
             static_cache=self._static_cache,
             screen_cache=self._screen_cache,
+            exclude=excl,
             stats=self.stats,
         )
         if j < 0 or impr <= self.min_improvement:
-            self._futile[i] = stamp
+            if excl is None:
+                # Cooldown expiry isn't captured by the memo stamp, so a
+                # shun-constrained futile answer is never memoized.
+                self._futile[i] = stamp
             self._bump_backoff(i)
             self._arm(i)
             return
@@ -305,6 +354,7 @@ class ExchangeAgents:
             self.busy[i] = None
             if role == _PROPOSING:
                 self.stats.propose_timeouts += 1
+                self._shun_partner(i, slot[1])
             else:
                 self.stats.accept_timeouts += 1
             self._bump_backoff(i)
@@ -326,9 +376,10 @@ class ExchangeAgents:
     # ------------------------------------------------------------------
     def _on_propose(self, msg) -> None:
         i, j, token = msg
+        refused = self.refuse is not None and self.refuse(j, i)
         slot = self.busy[j]
         preempt = slot is not None and slot[0] == _PROPOSING and i < j
-        if slot is None or preempt:
+        if not refused and (slot is None or preempt):
             if preempt:
                 self.stats.preemptions += 1
             self.busy[j] = (_ACCEPTED, i, token)
@@ -400,6 +451,12 @@ class ExchangeAgents:
             else:
                 self.stats.noop_exchanges += 1
                 self._bump_backoff(i)
+            if self._observe is not None:
+                self._observe(i, j)
+            if self._shun is not None:
+                # A completed handshake (even a noop) carried real load
+                # information: the partner is responsive after all.
+                self._shun[i].pop(j, None)
         else:
             # The pair-sync connection broke: j failed while ACCEPT was in
             # flight, so the exchange never happens.
@@ -411,6 +468,7 @@ class ExchangeAgents:
         if self.busy[i] == (_PROPOSING, j, token):
             self.busy[i] = None
             self._bump_backoff(i)
+            self._shun_partner(i, j)
             if self._tracer is not None:
                 self._tracer.take(("xchg", token))  # handshake is over
         else:
@@ -420,5 +478,11 @@ class ExchangeAgents:
         i, j, token = msg
         if self.busy[j] == (_ACCEPTED, i, token):
             self.busy[j] = None
+            if self._observe is not None and self.alive[i]:
+                # The DONE leg closes the pair sync: the acceptor learned
+                # the proposer's exact post-exchange load too.
+                self._observe(j, i)
+            if self._shun is not None:
+                self._shun[j].pop(i, None)
         else:
             self.stats.stale_messages += 1

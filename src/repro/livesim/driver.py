@@ -29,15 +29,27 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from .. import obs as _obs
 from ..core.instance import Instance
 from ..core.state import AllocationState
 from ..sim.events import Environment
 from ..sim.server import Request, SimServer
 from .agents import AgentStats, ExchangeAgents
-from .churn import ChurnModel, fail_server, rejoin_server, start_churn
+from .churn import (
+    ChurnModel,
+    FailureTrace,
+    fail_server,
+    rejoin_server,
+    start_churn,
+    start_trace_churn,
+)
 from .gossip import AsyncGossip, GossipStats
 from .net import ControlNetwork, NetStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (repro.byz)
+    from ..byz.adversaries import ByzantineModel
 
 __all__ = [
     "LiveConfig",
@@ -116,6 +128,25 @@ class LiveConfig:
     #: ``backoff_max=1`` disables the mechanism.
     backoff_factor: float = 2.0
     backoff_max: float = 8.0
+    #: Gossip accept rule: ``"legacy"`` trusts every entry by version;
+    #: ``"robust"`` adds quorum + trimmed-mean filtering, placement
+    #: clamps, pair-sync observations and per-server suspicion scores
+    #: (see :mod:`repro.livesim.gossip`).  Legacy runs are bit-identical
+    #: to earlier releases.
+    merge_mode: str = "legacy"
+    robust_quorum: int = 3
+    robust_trim: int = 1
+    robust_tolerance: float = 0.2
+    robust_observe_margin: int = 8
+    #: Adversary plane (:class:`repro.byz.ByzantineModel`): ``None`` (or
+    #: ``f = 0``) leaves the honest path untouched — the adversaries'
+    #: RNG streams are entropy-separated, so honest traces never shift.
+    byzantine: "ByzantineModel | None" = None
+    #: Replay an explicit failure schedule (:class:`repro.livesim.churn.
+    #: FailureTrace`) on top of (or instead of) the memoryless
+    #: ``churn_rate`` process; both route through the same fail/rejoin
+    #: path, so queue drops and owner re-submission couple identically.
+    churn_trace: FailureTrace | None = None
 
     def resolve(self, inst: Instance) -> "LiveConfig":
         """A copy with every ``None`` interval filled from the latency
@@ -193,6 +224,9 @@ class LiveReport:
     #: Wall-clock attribution table by callback kind (only with
     #: ``LiveSimulation(..., profile=True)``; see ``repro.obs.profile``).
     profile: dict | None = field(default=None, repr=False)
+    #: Per-server suspicion scores of the robust merge (``None`` under
+    #: the legacy merge).
+    suspicion: np.ndarray | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     @property
@@ -340,6 +374,11 @@ class LiveSimulation:
             adapt_min=cfg.gossip_adapt_min,
             adapt_max=cfg.gossip_adapt_max,
             adapt_alpha=cfg.gossip_adapt_alpha,
+            merge_mode=cfg.merge_mode,
+            robust_quorum=cfg.robust_quorum,
+            robust_trim=cfg.robust_trim,
+            robust_tolerance=cfg.robust_tolerance,
+            observe_margin=cfg.robust_observe_margin,
             obs=self.obs,
         )
         initial_cost = self.state.total_cost()
@@ -376,6 +415,35 @@ class LiveSimulation:
             on_rejoin=self._rejoin,
             metrics=self.obs.metrics if self.obs is not None else None,
         )
+        if cfg.churn_trace is not None:
+            start_trace_churn(
+                self.env,
+                cfg.churn_trace,
+                m=m,
+                agent_interval=cfg.agent_interval,
+                on_fail=self._fail,
+                on_rejoin=self._rejoin,
+                metrics=self.obs.metrics if self.obs is not None else None,
+            )
+
+        # Adversary plane: attached last so its publish wrap covers every
+        # later publish (rejoin announcements included) but never the
+        # honest t = 0 bootstrap.  Entropy-separated streams; with no
+        # model (or f = 0) nothing is wrapped or scheduled at all.
+        self.byz = None
+        if cfg.byzantine is not None and cfg.byzantine.f > 0:
+            from ..byz.adversaries import AdversaryPlane  # lazy: cycle
+
+            self.byz = AdversaryPlane(
+                self.env,
+                self.gossip,
+                self.state,
+                self.alive,
+                cfg.byzantine,
+                seed=seed,
+                agent_interval=cfg.agent_interval,
+                agents=self.agents,
+            )
 
         self._requests: list[Request] = []
         self._requests_generated = 0
@@ -415,6 +483,18 @@ class LiveSimulation:
             reg.gauge("sched.queue_depth", fn=lambda: self.env.queue_size)
             reg.gauge("livesim.cost", fn=lambda: self._running_cost)
             reg.gauge("gossip.interval", fn=self.gossip.mean_interval)
+            if self.gossip.suspicion is not None:
+                view = self.gossip.suspicion_view
+                reg.gauge("byz.suspicion.max", fn=lambda: float(view().max()))
+                reg.gauge("byz.suspicion.mean", fn=lambda: float(view().mean()))
+                if m <= 64:
+                    for j in range(m):
+                        reg.gauge(
+                            f"byz.suspicion.{j}",
+                            fn=lambda j=j: float(view()[j]),
+                        )
+            if self.byz is not None:
+                reg.bind("byz", self.byz.stats)
 
         self._sample_cost(exact=True)  # t = 0 anchor
 
@@ -672,4 +752,5 @@ class LiveSimulation:
             profile=(
                 self._profiler.table() if self._profiler is not None else None
             ),
+            suspicion=self.gossip.suspicion_view(),
         )

@@ -74,6 +74,48 @@ Throughput choices that matter on the hot path:
 actually changed (fresh values merged in, or its own entry re-published
 with a different load) — the agents use it to skip re-evaluating a
 partner proposal when nothing the proposal depends on has changed.
+
+Byzantine-robust merge (``merge_mode="robust"``, off by default)
+----------------------------------------------------------------
+
+The legacy merge trusts every entry: whoever ships the highest version
+for an origin owns the receiver's view of that origin.  One misbehaving
+server can therefore poison every view it gossips into (see
+:mod:`repro.byz.adversaries`).  Robust mode replaces the per-entry
+accept rule with ideas from fault-tolerant approximate consensus
+(Dolev et al. JACM86; Ben-Or-style rounds):
+
+* **First-hand claims** (sender == origin) are accepted by version rule,
+  but clamped against what the receiver *provably* knows: its own
+  placement ``R[dst, origin]`` is a hard lower bound on the origin's
+  true load, so a self-claim below it is a detected lie (suspicion++,
+  value clamped to the bound).
+* **Second-hand claims** (relays) go through a per-(receiver, origin)
+  claim buffer keyed by reporter.  A value is accepted only once
+  ``robust_quorum`` distinct reporters carry versions newer than the
+  accepted one; the claims are sorted by value, the ``robust_trim``
+  most extreme are discarded from each end, and the survivors must
+  agree within ``robust_tolerance`` (relative).  The accepted value is
+  the survivors' mean and the accepted version their *minimum* — a
+  fabricated sky-high version can therefore never ratchet the accepted
+  version and lock honest claims out.
+* **Pair-sync observations**: a completed exchange handshake
+  synchronizes the pair on the true state, so the agents feed the
+  partner's exact load back via :meth:`observe_peer` — the defense that
+  no quorum can provide against an origin lying about *itself* (every
+  relay of a self-claim descends from the same lie).
+* **Suspicion**: every detected lie (clamped self-claim, trimmed-out
+  outlier claim, observation contradicting a view) accrues a per-server
+  ``suspicion`` score — weighted by how many agreement bands off the
+  value was and decaying exponentially in sim time, so the transient
+  staleness of early convergence fades while persistent liars keep
+  accumulating.  Exported as ``byz.suspicion`` gauges (read through
+  :meth:`AsyncGossip.suspicion_view`).
+
+Robust mode is a small-fleet (Python-loop) code path aimed at the
+``byzantine-*`` scenario family; with ``merge_mode="legacy"`` (the
+default) none of its state exists and traces are bit-identical to
+earlier releases — asserted on every preset in both wire formats.
 """
 
 from __future__ import annotations
@@ -88,7 +130,7 @@ from ..sim.events import Environment
 from ._util import BufferedIntegers, BufferedUniform
 from .net import ControlNetwork
 
-__all__ = ["AsyncGossip", "GossipStats", "GOSSIP_MODES"]
+__all__ = ["AsyncGossip", "GossipStats", "GOSSIP_MODES", "MERGE_MODES"]
 
 #: Largest fleet kept on the Python-list table representation; beyond it
 #: the vectorized packed-ndarray path wins (the crossover is flat
@@ -96,6 +138,8 @@ __all__ = ["AsyncGossip", "GossipStats", "GOSSIP_MODES"]
 _LIST_MODE_MAX = 64
 
 GOSSIP_MODES = ("full", "delta")
+
+MERGE_MODES = ("legacy", "robust")
 
 #: Modelled payload sizes for the byte accounting: a full-table entry is
 #: three float64 (value, version, stamp); a delta entry additionally
@@ -115,6 +159,13 @@ class GossipStats:
     merges: int = 0
     payload_entries: int = 0  #: table entries shipped across all payloads
     payload_bytes: int = 0    #: modelled bytes shipped (see module doc)
+    # Robust-merge counters (always 0 under merge_mode="legacy"):
+    claims: int = 0           #: second-hand claims buffered
+    robust_accepts: int = 0   #: entries accepted via quorum + trimmed mean
+    quorum_holds: int = 0     #: quorums reached but spread out of tolerance
+    outliers: int = 0         #: claims trimmed as outliers (suspicion++)
+    clamps: int = 0           #: self-claims clamped to the placement bound
+    observations: int = 0     #: pair-sync true-load observations recorded
 
 
 class AsyncGossip:
@@ -145,6 +196,11 @@ class AsyncGossip:
         adapt_min: float = 0.5,
         adapt_max: float = 4.0,
         adapt_alpha: float = 0.3,
+        merge_mode: str = "legacy",
+        robust_quorum: int = 3,
+        robust_trim: int = 1,
+        robust_tolerance: float = 0.2,
+        observe_margin: int = 8,
         obs=None,
     ):
         m = inst.m
@@ -152,6 +208,28 @@ class AsyncGossip:
             raise ValueError("need one RNG seed per server")
         if mode not in GOSSIP_MODES:
             raise ValueError(f"gossip mode must be one of {GOSSIP_MODES}, got {mode!r}")
+        if merge_mode not in MERGE_MODES:
+            raise ValueError(
+                f"merge mode must be one of {MERGE_MODES}, got {merge_mode!r}"
+            )
+        if merge_mode == "robust":
+            if robust_trim < 0:
+                raise ValueError("robust_trim must be >= 0")
+            if robust_quorum < max(2, 2 * robust_trim + 1):
+                raise ValueError(
+                    "robust_quorum must be >= max(2, 2*robust_trim + 1) so the "
+                    "trimmed survivor set is never empty"
+                )
+            if robust_quorum > m - 2:
+                raise ValueError(
+                    f"robust_quorum={robust_quorum} needs at least "
+                    f"{robust_quorum + 2} servers (got m={m}): a quorum counts "
+                    "distinct reporters other than the origin and the receiver"
+                )
+            if robust_tolerance <= 0:
+                raise ValueError("robust_tolerance must be positive")
+            if observe_margin < 1:
+                raise ValueError("observe_margin must be >= 1")
         if adaptive:
             if not (0.0 < adapt_min <= adapt_max):
                 raise ValueError("need 0 < adapt_min <= adapt_max")
@@ -164,6 +242,11 @@ class AsyncGossip:
         self.alive = alive
         self.interval = float(interval)
         self.mode = mode
+        self.merge_mode = merge_mode
+        self.robust_quorum = int(robust_quorum)
+        self.robust_trim = int(robust_trim)
+        self.robust_tolerance = float(robust_tolerance)
+        self.observe_margin = int(observe_margin)
         # Adaptive frequency: per-server interval scale driven by a
         # merge-delta EMA (see _tick).  Scale 1.0 == the fixed interval;
         # with ``adaptive`` off nothing below is ever touched, so the
@@ -239,6 +322,44 @@ class AsyncGossip:
                 self._packet_body = self._packet_body_np
                 self._merge = self._merge_np
         self._push_handler = self._on_push_delta if delta else self._on_push
+        self._delta = delta
+        if merge_mode == "robust":
+            # Robust mode keeps the legacy publish/packet paths (the wire
+            # format is unchanged) and swaps only the accept rule.
+            self._merge = (
+                self._merge_robust_delta if delta else self._merge_robust_full
+            )
+            #: per-server lie score (clamps + outlier claims + contradicted
+            #: observations) — the ``byz.suspicion`` gauges.  Blame is
+            #: weighted by how many agreement bands off the value was
+            #: (honest staleness sits near one band, lies far beyond) and
+            #: decays exponentially in sim time, so the transient noise
+            #: of early convergence fades while persistent liars keep
+            #: accruing; read through :meth:`suspicion_view`.
+            self.suspicion: np.ndarray | None = np.zeros(m, dtype=np.float64)
+            self._susp_time = np.zeros(m, dtype=np.float64)
+            self._susp_tau = 40.0 * self.interval
+            # claim buffers: _claims[dst][origin][reporter] = (ver, val, stamp)
+            self._claims: list[dict[int, dict[int, tuple]]] = [
+                {} for _ in range(m)
+            ]
+            # Direct observations are authoritative for a horizon:
+            # _observed[d][k] = (time, value) from the last pair-sync.
+            # A quorum mean contradicting a recent observation is held
+            # rather than accepted — every relay of a self-lie descends
+            # from the same first-hand misreport, so relayed copies
+            # agree with each other and would otherwise out-quorum the
+            # ground truth (and get honest truth-relayers blamed as
+            # outliers against the lie).
+            self._observed: list[dict[int, tuple[float, float]]] = [
+                {} for _ in range(m)
+            ]
+            self._obs_horizon = float(observe_margin) * self.interval
+            # Absolute floor of the relative agreement band, so claims
+            # about a near-zero load still have a workable tolerance.
+            self._tol_floor = 0.05 * float(np.mean(loads)) + 1e-12
+        else:
+            self.suspicion = None
 
         # Peers reachable over a finite-latency link (gossip cannot cross
         # forbidden links any more than requests can).
@@ -362,7 +483,7 @@ class AsyncGossip:
         self.stats.payload_bytes += _HEADER_BYTES + _ENTRY_BYTES_FULL * self._m
         return (self._vals[src][:], self._vers[src][:], self._stmp[src][:])
 
-    def _merge_list(self, dst: int, rows: tuple) -> None:
+    def _merge_list(self, src: int, dst: int, rows: tuple) -> None:
         qv, qr, qs = rows
         mv = self._vals[dst]
         mr = self._vers[dst]
@@ -419,7 +540,7 @@ class AsyncGossip:
             [stmp[k] for k in ks],
         )
 
-    def _merge_list_delta(self, dst: int, body: tuple) -> None:
+    def _merge_list_delta(self, src: int, dst: int, body: tuple) -> None:
         _snap, ks, qv, qr, qs = body
         if not ks:
             return
@@ -466,7 +587,7 @@ class AsyncGossip:
         self.stats.payload_bytes += _HEADER_BYTES + _ENTRY_BYTES_FULL * self._m
         return self._rows[src].copy()
 
-    def _merge_np(self, dst: int, table: np.ndarray) -> None:
+    def _merge_np(self, src: int, dst: int, table: np.ndarray) -> None:
         newer = self._newer_buf
         np.greater(table[1], self._nvers[dst], out=newer)
         if newer.any():
@@ -504,7 +625,7 @@ class AsyncGossip:
         self.stats.payload_bytes += _HEADER_BYTES + _ENTRY_BYTES_DELTA * idx.size
         return (self._mclock[src], idx, sub)
 
-    def _merge_np_delta(self, dst: int, body: tuple) -> None:
+    def _merge_np_delta(self, src: int, dst: int, body: tuple) -> None:
         _snap, idx, sub = body
         if idx.size == 0:
             return
@@ -522,6 +643,256 @@ class AsyncGossip:
             self._mclock[dst] += 1
             self._mtime[dst, sel] = self._mclock[dst]
             self.stats.merges += 1
+
+    # ------------------------------------------------------------------
+    # Robust merge (merge_mode="robust") — see module doc
+    # ------------------------------------------------------------------
+    def _entry_version(self, i: int, k: int) -> float:
+        if self._list_mode:
+            return float(self._vers[i][k])
+        return float(self._nvers[i][k])
+
+    def _entry_store(self, i: int, k: int, val, ver, stamp) -> bool:
+        """Write one table entry; returns True if the value changed."""
+        if self._list_mode:
+            row = self._vals[i]
+            changed = row[k] != val
+            row[k] = val
+            self._vers[i][k] = ver
+            self._stmp[i][k] = stamp
+        else:
+            changed = bool(self._nvals[i][k] != val)
+            self._nvals[i][k] = val
+            self._nvers[i][k] = ver
+            self._nstmp[i][k] = stamp
+        return changed
+
+    def _touch_delta(self, i: int, ks) -> None:
+        """Delta bookkeeping for out-of-band entry writes: tick the
+        modification clock once and mark every written entry, so the
+        entries ship in the next delta payloads."""
+        if self._delta and ks:
+            self._mclock[i] += 1
+            t = self._mclock[i]
+            for k in ks:
+                self._mtime[i, k] = t
+
+    def _band(self, ref: float) -> float:
+        return self.robust_tolerance * max(abs(ref), self._tol_floor)
+
+    def _blame(self, k: int, weight: float) -> None:
+        """Accrue decayed, magnitude-weighted suspicion on server ``k``.
+
+        ``weight`` is the discrepancy in agreement bands (capped so one
+        freak value cannot dominate a whole run); the accumulated score
+        e-folds every ``_susp_tau`` of sim time, applied lazily here and
+        on read in :meth:`suspicion_view`.
+        """
+        now = self.env.now
+        dt = now - self._susp_time[k]
+        if dt > 0.0:
+            self.suspicion[k] *= np.exp(-dt / self._susp_tau)
+            self._susp_time[k] = now
+        self.suspicion[k] += min(10.0, weight)
+
+    def note_unresponsive(self, j: int) -> None:
+        """Agent-layer suspicion feed: server ``j`` keeps refusing or
+        timing out handshakes (reported once the per-partner cooldown
+        escalates past the busy-slot noise floor)."""
+        if self.suspicion is not None:
+            self._blame(j, 2.0)
+
+    def suspicion_view(self) -> np.ndarray | None:
+        """The suspicion scores decayed to the current sim time (the
+        ``byz.suspicion`` gauges; ``None`` under the legacy merge)."""
+        if self.suspicion is None:
+            return None
+        return self.suspicion * np.exp(
+            -(self.env.now - self._susp_time) / self._susp_tau
+        )
+
+    def _merge_robust_full(self, src: int, dst: int, body) -> None:
+        if self._list_mode:
+            qv, qr, qs = body
+        else:
+            qv, qr, qs = body[0], body[1], body[2]
+        self._robust_entries(src, dst, range(self._m), qv, qr, qs)
+
+    def _merge_robust_delta(self, src: int, dst: int, body) -> None:
+        if self._list_mode:
+            _snap, ks, qv, qr, qs = body
+        else:
+            _snap, idx, sub = body
+            ks, qv, qr, qs = idx.tolist(), sub[0], sub[1], sub[2]
+        if len(ks) == 0:
+            return
+        self._robust_entries(src, dst, ks, qv, qr, qs)
+
+    def _robust_entries(self, src: int, dst: int, ks, qv, qr, qs) -> None:
+        """The robust accept rule over one payload's entries (positional
+        sequences aligned with origin indices ``ks``)."""
+        st = self.stats
+        claims_dst = self._claims[dst]
+        quorum = self.robust_quorum
+        trim = self.robust_trim
+        accepted: list[int] = []
+        changed = False
+        for pos, k in enumerate(ks):
+            k = int(k)
+            if k == dst:
+                continue
+            ver = float(qr[pos])
+            if ver <= self._entry_version(dst, k):
+                continue
+            val = float(qv[pos])
+            stamp = float(qs[pos])
+            if src == k:
+                # First-hand self-claim: version rule with the placement
+                # floor — dst's own load placed on k bounds k's load below.
+                placed = float(self.state.R[dst, k])
+                pband = self._band(placed)
+                if val < placed - pband:
+                    st.clamps += 1
+                    self._blame(k, (placed - val) / pband)
+                    val = placed
+                if self._entry_store(dst, k, val, ver, stamp):
+                    changed = True
+                accepted.append(k)
+                continue
+            # Second-hand claim: buffer by reporter, accept on quorum.
+            st.claims += 1
+            buf = claims_dst.setdefault(k, {})
+            buf[src] = (ver, val, stamp)
+            cur_ver = self._entry_version(dst, k)
+            cand = [
+                (cv, cval, cstamp)
+                for cv, cval, cstamp in buf.values()
+                if cv > cur_ver
+            ]
+            if len(cand) < quorum:
+                continue
+            cand.sort(key=lambda c: c[1])
+            surv = cand[trim:len(cand) - trim] if len(cand) > 2 * trim else cand
+            vals_s = [c[1] for c in surv]
+            band = self._band(vals_s[len(vals_s) // 2])
+            if vals_s[-1] - vals_s[0] > 2.0 * band:
+                # Quorum reached but the trimmed claims still disagree:
+                # hold the entry until the reporters converge.
+                st.quorum_holds += 1
+                continue
+            new_val = sum(vals_s) / len(vals_s)
+            ob = self._observed[dst].get(k)
+            if ob is not None:
+                if self.env.now - ob[0] > self._obs_horizon:
+                    del self._observed[dst][k]
+                elif abs(new_val - ob[1]) > self._band(ob[1]):
+                    # The quorum contradicts a fresh direct observation:
+                    # hold — ground truth outranks any set of relays.
+                    st.quorum_holds += 1
+                    continue
+            # min survivor version: an inflated fabricated version that
+            # sneaks into the survivors cannot ratchet the accepted
+            # version and lock honest claims out.
+            new_ver = min(c[0] for c in surv)
+            new_stamp = min(c[2] for c in surv)
+            if self._entry_store(dst, k, new_val, new_ver, new_stamp):
+                changed = True
+            accepted.append(k)
+            st.robust_accepts += 1
+            # Blame and drop outlier claims; drop claims now stale.
+            for r in list(buf):
+                cv, cval, _cs = buf[r]
+                if abs(cval - new_val) > band:
+                    self._blame(r, abs(cval - new_val) / band)
+                    st.outliers += 1
+                    del buf[r]
+                elif cv <= new_ver:
+                    del buf[r]
+        if accepted:
+            st.merges += 1
+            if changed:
+                self.update_counts[dst] += 1
+            self._touch_delta(dst, accepted)
+
+    def observe_peer(self, d: int, k: int) -> None:
+        """Pair-sync observation: the exchange handshake synchronized
+        ``d`` and ``k`` on the true state, so ``d`` now knows ``k``'s
+        exact load — record it first-hand, well ahead in version space
+        (``observe_margin``), so a lying origin needs that many fresh
+        self-publishes before its next claim can displace the truth.
+        Only meaningful (and only called) under ``merge_mode="robust"``.
+        """
+        if self.suspicion is None:
+            return
+        truth = float(self.state.loads[k])
+        band = self._band(truth)
+        if self._list_mode:
+            seen = float(self._vals[d][k])
+        else:
+            seen = float(self._nvals[d][k])
+        if abs(seen - truth) > band:
+            # The view d acted on contradicts ground truth: the origin
+            # owns its self-claims.
+            self._blame(k, abs(seen - truth) / band)
+        ver = self._entry_version(d, k) + self.observe_margin
+        self._observed[d][k] = (self.env.now, truth)
+        changed = self._entry_store(d, k, truth, ver, self.env.now)
+        if changed:
+            self.update_counts[d] += 1
+        self._touch_delta(d, [k])
+        self.stats.observations += 1
+        # Every buffered claim is now stale relative to the observation.
+        self._claims[d].pop(k, None)
+
+    # ------------------------------------------------------------------
+    # Adversary hooks (repro.byz) — mode-correct table writes that let a
+    # compromised server lie on the wire without bypassing the protocol
+    # ------------------------------------------------------------------
+    def misreport(self, i: int, value: float) -> None:
+        """Adversarial publish: exactly :meth:`publish`'s bookkeeping,
+        but claiming ``value`` for server ``i``'s own entry instead of
+        its true load."""
+        value = float(value)
+        now = self.env.now
+        if self._list_mode:
+            cur = self._vals[i][i]
+        else:
+            cur = float(self._nvals[i][i])
+        if self._delta:
+            # Delta publishes are no-ops when the value is unchanged.
+            if cur == value:
+                return
+            self._own_version[i] += 1
+            self._entry_store(i, i, value, self._own_version[i], now)
+            self.update_counts[i] += 1
+            self._touch_delta(i, [i])
+        else:
+            self._own_version[i] += 1
+            if self._entry_store(i, i, value, self._own_version[i], now):
+                self.update_counts[i] += 1
+        self.stats.publishes += 1
+
+    def inject(self, i: int, ks, vals, *, version_bump: int = 1) -> None:
+        """Adversarial table write: server ``i`` overwrites its *own
+        view* of origins ``ks`` with values ``vals``, versions advanced
+        ``version_bump`` past its current entries — the forged rows then
+        spread through the normal gossip exchange.  Versions bumped
+        faster than the honest +1-per-publish cadence win every legacy
+        merge, which is exactly the attack the robust merge defeats."""
+        now = self.env.now
+        touched: list[int] = []
+        changed = False
+        for k, v in zip(ks, vals):
+            k = int(k)
+            ver = self._entry_version(i, k) + version_bump
+            if self._entry_store(i, k, float(v), ver, now):
+                changed = True
+            if k == i and ver > self._own_version[i]:
+                self._own_version[i] = int(ver)
+            touched.append(k)
+        if changed:
+            self.update_counts[i] += 1
+        self._touch_delta(i, touched)
 
     # ------------------------------------------------------------------
     # The gossip cycle
@@ -600,7 +971,7 @@ class AsyncGossip:
         message's flight span) and becomes the current cause behind
         ``("view", dst)`` — the key the agents' proposals parent onto."""
         before = self.update_counts[dst]
-        self._merge(dst, body)
+        self._merge(src, dst, body)
         if self.update_counts[dst] != before:
             tracer = self._tracer
             msid = tracer.instant(
@@ -612,7 +983,7 @@ class AsyncGossip:
         src, dst, rows = packet[0], packet[1], packet[2]
         tracer = self._tracer
         if tracer is None:
-            self._merge(dst, rows)
+            self._merge(src, dst, rows)
             # Pull half of the push–pull exchange: reply with the merged
             # table.
             self.stats.pull_replies += 1
@@ -636,7 +1007,7 @@ class AsyncGossip:
         src, dst, rows = packet[0], packet[1], packet[2]
         tracer = self._tracer
         if tracer is None:
-            self._merge(dst, rows)
+            self._merge(src, dst, rows)
             return
         now = self.env.now
         sid = packet[3] if len(packet) > 3 else None
@@ -653,7 +1024,7 @@ class AsyncGossip:
         reply_body = self._packet_body(dst, src)
         tracer = self._tracer
         if tracer is None:
-            self._merge(dst, body)
+            self._merge(src, dst, body)
             self.stats.pull_replies += 1
             # The echoed assembly clock doubles as the push's ack.
             self.net.send(
@@ -678,7 +1049,7 @@ class AsyncGossip:
         src, dst, body, echo = packet[0], packet[1], packet[2], packet[3]
         tracer = self._tracer
         if tracer is None:
-            self._merge(dst, body)
+            self._merge(src, dst, body)
         else:
             now = self.env.now
             sid = packet[4] if len(packet) > 4 else None

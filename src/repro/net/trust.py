@@ -40,9 +40,17 @@ def restrict_latency(latency: np.ndarray, allowed: np.ndarray) -> np.ndarray:
     return out
 
 
-def k_nearest_trust(latency: np.ndarray, k: int) -> np.ndarray:
+def k_nearest_trust(
+    latency: np.ndarray, k: int, *, symmetric: bool = False
+) -> np.ndarray:
     """Each organization trusts its ``k`` lowest-latency peers (plus
-    itself) — the CoralCDN-style proximity constraint."""
+    itself) — the CoralCDN-style proximity constraint.
+
+    ``symmetric=True`` or-symmetrizes the mask (``i`` and ``j`` trust
+    each other if either nominates the other): the live control plane's
+    handshakes need both legs of a pair to be routable, so the livesim
+    presets use the symmetric variant.
+    """
     m = latency.shape[0]
     if not 0 <= k < m:
         raise ValueError(f"k must be in [0, {m - 1}]")
@@ -52,19 +60,48 @@ def k_nearest_trust(latency: np.ndarray, k: int) -> np.ndarray:
         picked = [j for j in order if j != i][:k]
         allowed[i, picked] = True
         allowed[i, i] = True
+    if symmetric:
+        allowed = allowed | allowed.T
     return allowed
+
+
+#: Entropy constant of :func:`random_trust` seeding — entropy-separated
+#: from every other stochastic component, keyed by ``(m, seed)``.
+_TRUST_ENTROPY = 0x5EC7B2A9
 
 
 def random_trust(
     m: int,
     edge_probability: float,
     *,
-    rng: np.random.Generator | int | None = None,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
     symmetric: bool = True,
 ) -> np.ndarray:
     """Erdős–Rényi trust graph (each ordered pair allowed independently
-    with the given probability; symmetrized by default)."""
-    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    with the given probability; symmetrized by default).
+
+    Seeding follows the engine convention: ``seed`` derives an
+    entropy-separated :class:`numpy.random.SeedSequence` keyed by
+    ``(m, seed)``, so a trust draw never perturbs (and is never
+    perturbed by) any other stream of the same run.  Passing an explicit
+    ``rng`` Generator instead draws from it directly (the caller owns
+    the stream); giving both is an error.
+    """
+    if rng is not None:
+        if seed is not None:
+            raise ValueError("give either seed= or rng=, not both")
+        if not isinstance(rng, np.random.Generator):
+            raise TypeError(
+                "rng must be a numpy Generator; for integer seeding use "
+                "the seed= keyword (entropy-separated engine convention)"
+            )
+    else:
+        ss = np.random.SeedSequence(
+            entropy=_TRUST_ENTROPY,
+            spawn_key=(int(m), int(seed) if seed is not None else 0),
+        )
+        rng = np.random.default_rng(ss)
     allowed = rng.uniform(size=(m, m)) < edge_probability
     if symmetric:
         allowed = allowed | allowed.T

@@ -43,8 +43,10 @@ from .runner import (
 )
 from .scenario import (
     PRESETS,
+    TRUST_PRESETS,
     Scenario,
     TopologyFactory,
+    TrustSpec,
     get_scenario,
     list_scenarios,
     register_scenario,
@@ -74,11 +76,13 @@ __all__ = [
     "measured_latency",
     # scenarios
     "Scenario",
+    "TrustSpec",
     "TopologyFactory",
     "register_scenario",
     "get_scenario",
     "list_scenarios",
     "PRESETS",
+    "TRUST_PRESETS",
     # batch runner
     "ScenarioRunner",
     "ScenarioReport",

@@ -29,6 +29,13 @@ import numpy as np
 
 from ..core.instance import Instance
 from ..net.topology import homogeneous_latency, planetlab_like_latency
+from ..net.trust import (
+    is_trust_connected,
+    k_nearest_trust,
+    random_trust,
+    restrict_latency,
+    ring_trust,
+)
 from .loadmodels import (
     CorrelatedSurgeLoads,
     DiurnalLoads,
@@ -46,11 +53,13 @@ from .topologies import (
 
 __all__ = [
     "Scenario",
+    "TrustSpec",
     "TopologyFactory",
     "register_scenario",
     "get_scenario",
     "list_scenarios",
     "PRESETS",
+    "TRUST_PRESETS",
 ]
 
 #: ``factory(m, rng) -> (m, m)`` latency matrix.  All generators in
@@ -63,6 +72,46 @@ _SCENARIO_ENTROPY = 0x5CE7A210
 
 def _homogeneous_20ms(m: int, *, rng=None) -> np.ndarray:
     return homogeneous_latency(m, 20.0)
+
+
+@dataclass(frozen=True)
+class TrustSpec:
+    """Declarative §II trust restriction attached to a :class:`Scenario`.
+
+    ``kind`` selects the builder from :mod:`repro.net.trust`:
+
+    * ``"ring"`` — everyone trusts ``hops`` ring neighbours per side;
+    * ``"k_nearest"`` — the ``k`` lowest-latency peers, or-symmetrized
+      so the control plane's pairwise handshakes stay routable;
+    * ``"random"`` — Erdős–Rényi with edge probability ``p``, drawn on
+      the entropy-separated :func:`repro.net.trust.random_trust` stream
+      keyed by the materialization's ``(m, seed)``.
+
+    Being a frozen dataclass of plain values, a spec compares, hashes
+    and pickles like every other scenario field — instance caching and
+    the process sweep backends keep working unchanged.
+    """
+
+    kind: str
+    hops: int = 2
+    k: int = 4
+    p: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ring", "k_nearest", "random"):
+            raise ValueError(
+                f"unknown trust kind {self.kind!r}; "
+                "expected 'ring', 'k_nearest' or 'random'"
+            )
+
+    def allowed(self, latency: np.ndarray, *, seed: int = 0) -> np.ndarray:
+        """The boolean trust mask for one materialized topology."""
+        m = latency.shape[0]
+        if self.kind == "ring":
+            return ring_trust(m, hops=self.hops)
+        if self.kind == "k_nearest":
+            return k_nearest_trust(latency, self.k, symmetric=True)
+        return random_trust(m, self.p, seed=seed)
 
 
 @dataclass(frozen=True)
@@ -84,6 +133,11 @@ class Scenario:
     speed_range:
         Server speeds are uniform on this range (§VI-A uses ``[1, 5]``);
         a degenerate range ``(s, s)`` gives constant speeds.
+    trust:
+        Optional :class:`TrustSpec`: non-trusted links get infinite
+        latency (§II neighbour restriction) after the topology is drawn,
+        and materialization fails loudly if the trust graph cannot
+        spread load globally (:func:`repro.net.trust.is_trust_connected`).
     description:
         One-line human description shown by :func:`list_scenarios`.
     """
@@ -94,6 +148,7 @@ class Scenario:
     m: int = 50
     seed: int = 0
     speed_range: tuple[float, float] = (1.0, 5.0)
+    trust: TrustSpec | None = None
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -123,6 +178,17 @@ class Scenario:
         speeds = rng.uniform(lo, hi, size=m) if hi > lo else np.full(m, lo)
         loads = self.load_model.sample(m, rng)
         latency = self.topology(m, rng=rng)
+        if self.trust is not None:
+            cell_seed = self.seed if seed is None else int(seed)
+            allowed = self.trust.allowed(latency, seed=cell_seed)
+            if not is_trust_connected(allowed):
+                raise ValueError(
+                    f"scenario {self.name!r} at (m={m}, seed={cell_seed}): "
+                    f"trust graph {self.trust} is disconnected — load cannot "
+                    "spread globally; widen the trust spec (more hops/k or a "
+                    "higher edge probability)"
+                )
+            latency = restrict_latency(latency, allowed)
         return Instance(speeds, loads, latency)
 
     def load_trace(
@@ -226,6 +292,38 @@ PRESETS: tuple[Scenario, ...] = (
     ),
 )
 
-for _preset in PRESETS:
+#: Trust-restricted variants (§II neighbour restriction as a first-class
+#: scenario axis).  Registered like the base presets but kept out of
+#: ``PRESETS``: the determinism/convergence suites iterate that tuple,
+#: and a trust-restricted plane converges to a *different* (restricted)
+#: optimum on a different schedule.
+TRUST_PRESETS: tuple[Scenario, ...] = (
+    Scenario(
+        name="planetlab-ring-trust",
+        topology=planetlab_like_latency,
+        load_model=ExponentialLoads(avg=50.0),
+        m=50,
+        trust=TrustSpec(kind="ring", hops=3),
+        description="§VI-A PlanetLab RTTs, relaying restricted to a 3-hop trust ring",
+    ),
+    Scenario(
+        name="hub-knn-trust",
+        topology=star_hub_latency,
+        load_model=ParetoLoads(shape=1.5, scale=15.0),
+        m=40,
+        trust=TrustSpec(kind="k_nearest", k=6),
+        description="Hub federation; each org trusts its 6 nearest peers (symmetrized)",
+    ),
+    Scenario(
+        name="planetlab-random-trust",
+        topology=planetlab_like_latency,
+        load_model=ExponentialLoads(avg=50.0),
+        m=50,
+        trust=TrustSpec(kind="random", p=0.3),
+        description="PlanetLab RTTs under an Erdős–Rényi (p=0.3) trust graph",
+    ),
+)
+
+for _preset in PRESETS + TRUST_PRESETS:
     register_scenario(_preset)
 del _preset

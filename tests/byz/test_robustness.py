@@ -1,0 +1,132 @@
+"""The ``byzantine-*`` acceptance matrix.
+
+Per preset: with the robust merge ON the live control plane converges
+to within ``error_bound`` of the offline optimum for every
+``f <= f_max``; with it OFF the same ``f_max`` adversaries measurably
+break convergence (error above the bound).  All runs are deterministic
+per seed — a split run equals one long run — and the per-server
+suspicion scores identify the compromised servers on the presets where
+the attack leaves a first-hand signature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.byz import BYZ_PRESETS, error_vs_f, get_byz_preset, run_byz
+from repro.livesim import LiveSimulation
+from repro.workloads import cached_instance, cached_optimum, get_scenario
+
+PRESET_NAMES = [p.name for p in BYZ_PRESETS]
+
+
+@pytest.mark.parametrize("name", PRESET_NAMES)
+def test_robust_merge_holds_up_to_f_max(name):
+    p = get_byz_preset(name)
+    for f in range(1, p.f_max + 1):
+        r = run_byz(p, f=f, robust=True)
+        assert r.within_bound, (
+            f"{name}: robust merge failed at f={f} <= f_max={p.f_max}: "
+            f"error {r.error:.4f} > bound {p.error_bound}"
+        )
+        assert len(r.adversaries) == f
+        assert r.suspicion is not None
+
+
+@pytest.mark.parametrize("name", PRESET_NAMES)
+def test_legacy_merge_fails_at_f_max(name):
+    p = get_byz_preset(name)
+    r = run_byz(p, f=p.f_max, robust=False)
+    assert r.error > p.error_bound, (
+        f"{name}: the attack is too weak — legacy merge still converged "
+        f"to {r.error:.4f} <= {p.error_bound} at f={p.f_max}"
+    )
+    assert r.suspicion is None, "legacy merge must not score suspicion"
+
+
+@pytest.mark.parametrize(
+    "name,f",
+    [
+        ("byzantine-stale", 1),
+        ("byzantine-fabricator", 3),
+        ("byzantine-flapper", 2),
+        ("byzantine-underreport-delta", 3),
+        ("byzantine-stale-random-trust", 1),
+    ],
+)
+def test_suspicion_identifies_adversaries(name, f):
+    """On presets whose attack leaves a first-hand signature (clamped
+    self-lies, outlier claims, shunned blackholes), the top-f suspicion
+    scores are exactly the compromised servers."""
+    r = run_byz(name, f=f, robust=True)
+    assert r.suspicion_ranks_adversaries(), (
+        f"{name} f={f}: suspicion top-{f} {np.argsort(r.suspicion)[::-1][:f]}"
+        f" != adversaries {r.adversaries}"
+    )
+
+
+class TestDeterminism:
+    def test_split_run_equals_long_run(self):
+        """The byz plane's streams continue across run() calls like every
+        other engine stream: 2 x 120 rounds == 1 x 240 rounds."""
+        p = get_byz_preset("byzantine-stale")
+        inst = cached_instance(get_scenario(p.scenario), p.m, 0)
+        cfg = p.config_for(2, robust=True)
+        sim_long = LiveSimulation(inst, config=cfg, seed=0)
+        rep_long = sim_long.run(rounds=240)
+        sim_split = LiveSimulation(inst, config=cfg, seed=0)
+        sim_split.run(rounds=120)
+        rep_split = sim_split.run(rounds=120)
+        assert rep_long.trace == rep_split.trace
+        assert rep_long.trace
+        np.testing.assert_array_equal(sim_long.state.R, sim_split.state.R)
+        np.testing.assert_array_equal(
+            sim_long.gossip.suspicion, sim_split.gossip.suspicion
+        )
+
+    def test_same_seed_same_result(self):
+        a = run_byz("byzantine-fabricator", f=2, robust=True, seed=7)
+        b = run_byz("byzantine-fabricator", f=2, robust=True, seed=7)
+        assert a.error == b.error
+        assert a.adversaries == b.adversaries
+        np.testing.assert_array_equal(a.suspicion, b.suspicion)
+        assert a.report.trace == b.report.trace
+
+
+class TestHarness:
+    def test_error_vs_f_sweeps_the_requested_cells(self):
+        curve = error_vs_f("byzantine-fabricator", fs=(0, 1), robust=True)
+        assert set(curve) == {0, 1}
+        p = get_byz_preset("byzantine-fabricator")
+        assert curve[0] <= p.error_bound, "honest baseline must converge"
+        assert curve[1] <= p.error_bound
+
+    def test_registry(self):
+        from repro.byz import list_byz_presets
+
+        names = list_byz_presets()
+        assert set(names) == set(PRESET_NAMES)
+        with pytest.raises(KeyError, match="unknown byz preset"):
+            get_byz_preset("byzantine-nope")
+
+    def test_family_covers_all_models_and_both_wire_formats(self):
+        models = {p.model.model for p in BYZ_PRESETS}
+        assert models == {
+            "stale-repeater", "load-underreporter", "value-fabricator",
+            "flapper",
+        }
+        assert {p.live.gossip_mode for p in BYZ_PRESETS} == {"full", "delta"}
+        assert any(
+            get_scenario(p.scenario).trust is not None for p in BYZ_PRESETS
+        ), "the family must cover a trust-restricted scenario"
+
+    def test_trust_preset_measures_against_restricted_optimum(self):
+        p = get_byz_preset("byzantine-stale-random-trust")
+        inst = cached_instance(get_scenario(p.scenario), p.m, 0)
+        assert np.isinf(inst.latency).any(), (
+            "trust preset lost its inf-latency restriction"
+        )
+        _, opt_cost, _, _ = cached_optimum(get_scenario(p.scenario), p.m, 0)
+        r = run_byz(p, f=1, robust=True)
+        assert r.optimum_cost == pytest.approx(opt_cost)

@@ -1,0 +1,152 @@
+"""Trace-driven churn: measured failure schedules replayed through the
+live control plane.
+
+A :class:`FailureTrace` carries explicit ``(t_rounds, server,
+downtime_rounds)`` events; replay routes them through the same
+``on_fail``/``on_rejoin`` driver callbacks as random churn, so queue
+drops and owner re-submission couple identically — with *zero* RNG
+involved, a trace replay is exactly as deterministic as the trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.livesim import (
+    FailureTrace,
+    LiveConfig,
+    LiveSimulation,
+)
+from repro.workloads import cached_instance, get_scenario
+
+
+def _run(cfg, seed=6, m=12, rounds=80):
+    inst = cached_instance(get_scenario("paper-planetlab"), m, 0)
+    sim = LiveSimulation(inst, config=cfg, seed=seed)
+    return sim, sim.run(rounds=rounds)
+
+
+class TestFailureTraceValidation:
+    @pytest.mark.parametrize(
+        "events,match",
+        [
+            (np.zeros((2, 2)), "\\(n, 3\\) matrix"),
+            ([[np.inf, 0, 1.0]], "finite"),
+            ([[-1.0, 0, 1.0]], "non-negative"),
+            ([[1.0, 0.5, 1.0]], "integers"),
+            ([[1.0, -2, 1.0]], "integers"),
+            ([[1.0, 0, 0.0]], "positive"),
+        ],
+    )
+    def test_bad_traces_raise(self, events, match):
+        with pytest.raises(ValueError, match=match):
+            FailureTrace(np.asarray(events, dtype=np.float64))
+
+    def test_events_are_sorted_and_frozen(self):
+        tr = FailureTrace([[9.0, 1, 2.0], [3.0, 0, 1.0], [3.0, 2, 1.0]])
+        np.testing.assert_array_equal(tr.events[:, 0], [3.0, 3.0, 9.0])
+        np.testing.assert_array_equal(tr.events[:, 1], [0.0, 2.0, 1.0])
+        assert tr.n_events == 3
+        with pytest.raises(ValueError):
+            tr.events[0, 0] = 0.0  # read-only
+
+    def test_csv_and_npz_roundtrip(self, tmp_path):
+        tr = FailureTrace([[5.0, 2, 3.0], [12.0, 0, 1.5]])
+        csv = tmp_path / "fail.csv"
+        csv.write_text("5.0,2,3.0\n12.0,0,1.5\n")
+        np.testing.assert_array_equal(FailureTrace.from_csv(csv).events,
+                                      tr.events)
+        npz = tmp_path / "fail.npz"
+        np.savez(npz, events=tr.events)
+        np.testing.assert_array_equal(FailureTrace.from_npz(npz).events,
+                                      tr.events)
+
+
+class TestFromMtbf:
+    def test_deterministic_per_m_and_seed(self):
+        a = FailureTrace.from_mtbf(10, mtbf_rounds=30.0, horizon_rounds=200.0)
+        b = FailureTrace.from_mtbf(10, mtbf_rounds=30.0, horizon_rounds=200.0)
+        np.testing.assert_array_equal(a.events, b.events)
+        c = FailureTrace.from_mtbf(
+            10, mtbf_rounds=30.0, horizon_rounds=200.0, seed=1
+        )
+        assert a.events.shape != c.events.shape or (a.events != c.events).any()
+
+    def test_mean_interfailure_tracks_mtbf(self):
+        tr = FailureTrace.from_mtbf(
+            40, mtbf_rounds=25.0, horizon_rounds=2000.0, shape=0.7
+        )
+        per_server = np.bincount(tr.events[:, 1].astype(int), minlength=40)
+        # ~2000/25 = 80 expected failures/server minus downtime dead-time.
+        assert 30 < per_server.mean() < 85
+        assert (tr.events[:, 0] < 2000.0).all()
+
+    def test_quiet_horizon_gives_empty_trace(self):
+        tr = FailureTrace.from_mtbf(4, mtbf_rounds=1e9, horizon_rounds=10.0)
+        assert tr.n_events == 0
+        assert tr.events.shape == (0, 3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mtbf_rounds": 0.0, "horizon_rounds": 10.0},
+            {"mtbf_rounds": 10.0, "horizon_rounds": 0.0},
+            {"mtbf_rounds": 10.0, "horizon_rounds": 10.0,
+             "downtime_rounds": 0.0},
+            {"mtbf_rounds": 10.0, "horizon_rounds": 10.0, "shape": 0.0},
+        ],
+    )
+    def test_bad_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            FailureTrace.from_mtbf(8, **kwargs)
+
+
+class TestTraceReplay:
+    def test_replay_fails_and_rejoins_on_schedule(self):
+        tr = FailureTrace([[10.0, 3, 5.0], [20.0, 7, 5.0]])
+        cfg = LiveConfig(churn_trace=tr)
+        _, rep = _run(cfg)
+        assert [j for _, j in rep.failures] == [3, 7]
+        assert [j for _, j in rep.rejoins] == [3, 7]
+        t_fail = [t for t, _ in rep.failures]
+        interval = cfg.resolve(
+            cached_instance(get_scenario("paper-planetlab"), 12, 0)
+        ).agent_interval
+        np.testing.assert_allclose(t_fail, [10.0 * interval, 20.0 * interval])
+
+    def test_events_beyond_m_are_skipped(self):
+        tr = FailureTrace([[10.0, 3, 5.0], [10.0, 99, 5.0]])
+        _, rep = _run(LiveConfig(churn_trace=tr))
+        assert [j for _, j in rep.failures] == [3]
+
+    def test_replay_couples_with_request_plane(self):
+        """A trace-driven failure drops the down server's queue and the
+        owners re-submit — the same coupling as random churn."""
+        tr = FailureTrace.from_mtbf(
+            8, mtbf_rounds=10.0, horizon_rounds=50.0, downtime_rounds=3.0
+        )
+        assert tr.n_events > 0
+        cfg = LiveConfig(churn_trace=tr, arrival_rate_scale=0.02)
+        sim_a, rep_a = _run(cfg, m=8, rounds=60)
+        assert rep_a.failures
+        assert rep_a.requests_resubmitted > 0
+        sim_b, rep_b = _run(cfg, m=8, rounds=60)
+        assert rep_a.trace == rep_b.trace
+        assert rep_a.requests_resubmitted == rep_b.requests_resubmitted
+        np.testing.assert_array_equal(sim_a.state.R, sim_b.state.R)
+
+    def test_no_trace_is_bit_identical_to_empty_trace(self):
+        empty = FailureTrace(np.empty((0, 3)))
+        sim_a, rep_a = _run(LiveConfig(), seed=9)
+        sim_b, rep_b = _run(LiveConfig(churn_trace=empty), seed=9)
+        assert rep_a.trace == rep_b.trace
+        np.testing.assert_array_equal(sim_a.state.R, sim_b.state.R)
+
+    def test_trace_stacks_with_random_churn(self):
+        """Trace replay and the memoryless model are orthogonal planes:
+        both can run, and the trace events appear among the failures."""
+        tr = FailureTrace([[15.0, 5, 4.0]])
+        cfg = LiveConfig(churn_trace=tr, churn_rate=0.01)
+        _, rep = _run(cfg, rounds=60)
+        assert 5 in [j for _, j in rep.failures]

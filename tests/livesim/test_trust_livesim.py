@@ -1,0 +1,89 @@
+"""Livesim over §II trust-restricted instances.
+
+A trust-restricted scenario materializes with ``inf`` latency on every
+untrusted pair, so the live control plane — gossip relays, handshakes
+and transfers alike — only ever crosses trusted edges, and the fleet
+converges to the *restricted* optimum (the best cost achievable without
+untrusted relaying), not the unrestricted one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.livesim import LiveConfig, LiveSimulation
+from repro.workloads import (
+    TRUST_PRESETS,
+    cached_instance,
+    cached_optimum,
+    get_scenario,
+)
+from repro.workloads.scenario import Scenario, TrustSpec
+
+TRUST_NAMES = [sc.name for sc in TRUST_PRESETS]
+
+
+@pytest.mark.parametrize("name", TRUST_NAMES)
+def test_trust_instances_carry_inf_latency(name):
+    inst = cached_instance(get_scenario(name), 16, 0)
+    off_diag = ~np.eye(16, dtype=bool)
+    assert np.isinf(inst.latency[off_diag]).any(), (
+        f"{name}: restriction produced no inf edges at m=16"
+    )
+    assert np.isfinite(inst.latency[off_diag]).any(), (
+        f"{name}: restriction removed every edge"
+    )
+
+
+@pytest.mark.parametrize("name", TRUST_NAMES)
+def test_livesim_converges_to_restricted_optimum(name):
+    sc = get_scenario(name)
+    inst = cached_instance(sc, 16, 0)
+    _, opt_cost, _, _ = cached_optimum(sc, 16, 0)
+    sim = LiveSimulation(inst, config=LiveConfig(), seed=1, optimum=opt_cost)
+    rep = sim.run(rounds=160)
+    assert rep.final_error <= 0.02, (
+        f"{name}: live error {rep.final_error:.4f} vs restricted optimum"
+    )
+
+
+def test_trust_presets_registered_but_not_in_default_matrix():
+    from repro.workloads import PRESETS
+
+    default = {sc.name for sc in PRESETS}
+    for name in TRUST_NAMES:
+        assert get_scenario(name).trust is not None
+        assert name not in default, (
+            "trust presets converge to a different optimum and must stay "
+            "out of the default determinism/convergence matrix"
+        )
+
+
+def test_disconnected_trust_raises_at_materialization():
+    sc = get_scenario("planetlab-random-trust").with_overrides(
+        name="test-disconnected-trust", trust=TrustSpec(kind="random", p=0.0)
+    )
+    with pytest.raises(ValueError, match="disconnected"):
+        sc.instance(12, seed=0)
+
+
+def test_random_trust_uses_materialization_seed():
+    """Two seeds of the same random-trust scenario draw different trust
+    graphs (the entropy-separated stream is keyed by the cell seed)."""
+    sc = get_scenario("planetlab-random-trust")
+    inf_a = np.isinf(sc.instance(16, seed=0).latency)
+    inf_b = np.isinf(sc.instance(16, seed=1).latency)
+    assert inf_a.any() and inf_b.any()
+    assert (inf_a != inf_b).any(), "trust graph ignored the cell seed"
+    np.testing.assert_array_equal(
+        inf_a, np.isinf(sc.instance(16, seed=0).latency)
+    )
+
+
+def test_trust_spec_validation():
+    with pytest.raises(ValueError, match="unknown trust kind"):
+        TrustSpec(kind="weird")
+    spec = TrustSpec(kind="ring", hops=3)
+    assert spec == TrustSpec(kind="ring", hops=3)
+    assert hash(spec) == hash(TrustSpec(kind="ring", hops=3))

@@ -66,8 +66,34 @@ class TestMasks:
             ring_trust(5, hops=0)
 
     def test_random_trust_connectivity_probable(self):
-        allowed = random_trust(30, 0.3, rng=0)
+        allowed = random_trust(30, 0.3, seed=0)
         assert is_trust_connected(allowed)
+
+    def test_random_trust_seed_convention(self):
+        """seed= derives an entropy-separated stream: deterministic per
+        (m, seed), different across seeds, and rng= still works for
+        callers that own their stream."""
+        a = random_trust(20, 0.3, seed=7)
+        b = random_trust(20, 0.3, seed=7)
+        np.testing.assert_array_equal(a, b)
+        c = random_trust(20, 0.3, seed=8)
+        assert not np.array_equal(a, c)
+        d = random_trust(20, 0.3, rng=np.random.default_rng(3))
+        assert d.shape == a.shape
+
+    def test_random_trust_rejects_ambiguous_seeding(self):
+        with pytest.raises(ValueError):
+            random_trust(10, 0.5, seed=0, rng=np.random.default_rng(0))
+        with pytest.raises(TypeError):
+            random_trust(10, 0.5, rng=0)
+
+    def test_k_nearest_symmetric_variant(self):
+        rng = np.random.default_rng(1)
+        lat = repro.planetlab_like_latency(12, rng=rng)
+        asym = k_nearest_trust(lat, 3)
+        sym = k_nearest_trust(lat, 3, symmetric=True)
+        np.testing.assert_array_equal(sym, asym | asym.T)
+        assert np.array_equal(sym, sym.T)
 
     def test_disconnected_detected(self):
         allowed = np.eye(4, dtype=bool)

@@ -32,6 +32,7 @@ def _small_examples(monkeypatch, capsys):
         "solver_shootout.py",
         "live_rebalancing.py",
         "workload_tracking.py",
+        "byzantine_robustness.py",
         "sharded_sweep_coordinator.py",
     ],
 )
